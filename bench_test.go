@@ -1,0 +1,121 @@
+package mempod
+
+import (
+	"fmt"
+	"testing"
+)
+
+// One benchmark per table and figure of the paper. Each regenerates its
+// experiment at Quick scale per iteration, so `go test -bench=.` exercises
+// the entire evaluation pipeline; cmd/experiments produces the full-scale
+// numbers recorded in EXPERIMENTS.md.
+
+func benchExperiment(b *testing.B, e Experiment) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tab, err := RunExperiment(e, Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatalf("%s produced no rows", e)
+		}
+	}
+}
+
+func BenchmarkFig1MEACounting(b *testing.B)       { benchExperiment(b, Fig1) }
+func BenchmarkFig2MEAPrediction(b *testing.B)     { benchExperiment(b, Fig2) }
+func BenchmarkFig3Individual(b *testing.B)        { benchExperiment(b, Fig3) }
+func BenchmarkTable1Blocks(b *testing.B)          { benchExperiment(b, Table1) }
+func BenchmarkTable2Config(b *testing.B)          { benchExperiment(b, Table2) }
+func BenchmarkTable3Mixes(b *testing.B)           { benchExperiment(b, Table3) }
+func BenchmarkFig6EpochCounterSweep(b *testing.B) { benchExperiment(b, Fig6) }
+func BenchmarkFig7CounterWidth(b *testing.B)      { benchExperiment(b, Fig7) }
+func BenchmarkFig8Comparison(b *testing.B)        { benchExperiment(b, Fig8) }
+func BenchmarkFig9CacheSensitivity(b *testing.B)  { benchExperiment(b, Fig9) }
+func BenchmarkFig10Scalability(b *testing.B)      { benchExperiment(b, Fig10) }
+
+// Component benchmarks: simulator throughput per mechanism, in requests
+// per op (reported via custom metric ns/request).
+
+func benchMechanism(b *testing.B, m Mechanism) {
+	b.Helper()
+	const n = 100_000
+	for i := 0; i < b.N; i++ {
+		o := Options{Mechanism: m, Requests: n, Seed: int64(i + 1)}
+		if m == MechHMA {
+			o.HMA = HMAOptions{Interval: Millisecond, SortStall: 70 * Microsecond, MaxMigrations: 512}
+		}
+		res, err := Run("mix5", o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/n, "ns/request")
+}
+
+func BenchmarkMechanismTLM(b *testing.B)    { benchMechanism(b, MechTLM) }
+func BenchmarkMechanismMemPod(b *testing.B) { benchMechanism(b, MechMemPod) }
+func BenchmarkMechanismHMA(b *testing.B)    { benchMechanism(b, MechHMA) }
+func BenchmarkMechanismTHM(b *testing.B)    { benchMechanism(b, MechTHM) }
+func BenchmarkMechanismCAMEO(b *testing.B)  { benchMechanism(b, MechCAMEO) }
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: pod
+// count (clustering), MEA counter budget and interval length.
+
+func BenchmarkAblationMemPodCounters(b *testing.B) {
+	for _, k := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := Run("mix5", Options{
+					Requests: 100_000,
+					MemPod:   MemPodOptions{Counters: k},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.AMMAT(), "AMMAT-ns")
+				b.ReportMetric(float64(res.Mig.PageMigrations), "migrations")
+			}
+		})
+	}
+}
+
+func BenchmarkAblationTrackerMEAvsFC(b *testing.B) {
+	for _, fc := range []bool{false, true} {
+		name := "MEA"
+		if fc {
+			name = "FullCounters"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := Run("mix5", Options{
+					Requests: 100_000,
+					MemPod:   MemPodOptions{UseFullCounters: fc},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.AMMAT(), "AMMAT-ns")
+			}
+		})
+	}
+}
+
+func BenchmarkAblationMemPodInterval(b *testing.B) {
+	for _, us := range []int{25, 50, 200} {
+		b.Run(fmt.Sprintf("epoch=%dus", us), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := Run("mix5", Options{
+					Requests: 100_000,
+					MemPod:   MemPodOptions{Interval: Duration(us) * Microsecond},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.AMMAT(), "AMMAT-ns")
+			}
+		})
+	}
+}

@@ -1,0 +1,76 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation and prints them, optionally writing per-experiment CSV files.
+//
+// Usage:
+//
+//	experiments                  # quick scale (~1 min)
+//	experiments -full            # full scale (tens of minutes on one core)
+//	experiments -only fig8,fig9  # a subset
+//	experiments -csvdir out/     # also write CSVs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	var (
+		full   = flag.Bool("full", false, "run at full scale")
+		only   = flag.String("only", "", "comma-separated experiment ids (e.g. fig8,table1)")
+		csvdir = flag.String("csvdir", "", "directory to write per-experiment CSV files")
+	)
+	flag.Parse()
+
+	scale := mempod.Quick
+	if *full {
+		scale = mempod.Full
+	}
+
+	selected := mempod.Experiments()
+	if *only != "" {
+		want := map[string]bool{}
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+		var filtered []mempod.Experiment
+		for _, e := range selected {
+			if want[string(e)] {
+				filtered = append(filtered, e)
+			}
+		}
+		selected = filtered
+	}
+	if len(selected) == 0 {
+		fmt.Fprintln(os.Stderr, "experiments: nothing selected")
+		os.Exit(1)
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		tab, err := mempod.RunExperiment(e, scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e, err)
+			os.Exit(1)
+		}
+		fmt.Println(tab.Text)
+		fmt.Printf("(%s finished in %s)\n\n", e, time.Since(start).Round(time.Millisecond))
+		if *csvdir != "" {
+			if err := os.MkdirAll(*csvdir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*csvdir, string(e)+".csv")
+			if err := os.WriteFile(path, []byte(tab.CSV), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Command meastudy runs the §3 offline oracle study comparing MEA and
+// Full Counters activity tracking, regenerating Figures 1–3.
+//
+// Usage:
+//
+//	meastudy                       # quick subset
+//	meastudy -full                 # all 27 workloads, full-length traces
+//	meastudy -workloads mcf,mix9   # explicit selection
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		full      = flag.Bool("full", false, "run the full 27-workload study")
+		requests  = flag.Int("requests", 0, "override trace length")
+		workloads = flag.String("workloads", "", "comma-separated workload subset")
+		csv       = flag.Bool("csv", false, "emit CSV instead of tables")
+	)
+	flag.Parse()
+
+	cfg := exp.QuickConfig()
+	if *full {
+		cfg = exp.DefaultConfig()
+	}
+	if *requests > 0 {
+		cfg.Requests = *requests
+	}
+	if *workloads != "" {
+		cfg = cfg.WithWorkloads(strings.Split(*workloads, ",")...)
+	}
+
+	for _, f := range []func() (fmt.Stringer, error){
+		func() (fmt.Stringer, error) { return cfg.Fig1() },
+		func() (fmt.Stringer, error) { return cfg.Fig2() },
+		func() (fmt.Stringer, error) { return cfg.Fig3() },
+	} {
+		t, err := f()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "meastudy:", err)
+			os.Exit(1)
+		}
+		if *csv {
+			type csver interface{ CSV() string }
+			fmt.Println(t.(csver).CSV())
+		} else {
+			fmt.Println(t)
+		}
+	}
+}

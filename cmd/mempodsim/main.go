@@ -1,0 +1,133 @@
+// Command mempodsim runs one workload under one memory-management
+// mechanism and prints the run's metrics.
+//
+// Usage:
+//
+//	mempodsim -workload mix5 -mech MemPod -requests 1000000
+//	mempodsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+// compareOrder is the mechanism order of -compare output.
+var compareOrder = []mempod.Mechanism{
+	mempod.MechTLM, mempod.MechMemPod, mempod.MechHMA,
+	mempod.MechTHM, mempod.MechCAMEO, mempod.MechHBMOnly,
+}
+
+func main() {
+	var (
+		wl       = flag.String("workload", "mix1", "workload name (see -list)")
+		mechName = flag.String("mech", "MemPod", "mechanism: MemPod, HMA, THM, CAMEO, TLM, HBM-only, DDR-only")
+		requests = flag.Int("requests", 1_000_000, "trace length")
+		seed     = flag.Int64("seed", 42, "trace seed")
+		future   = flag.Bool("future", false, "use 4GHz HBM + DDR4-2400 (§6.3.4)")
+		interval = flag.Int("mempod-interval-us", 0, "MemPod epoch in µs (0 = paper default 50)")
+		counters = flag.Int("mempod-counters", 0, "MEA counters per pod (0 = paper default 64)")
+		bits     = flag.Int("mempod-bits", 0, "MEA counter width (0 = paper default 2)")
+		cache    = flag.Int("cache-bytes", 0, "bookkeeping cache capacity (0 = disabled)")
+		list     = flag.Bool("list", false, "list workloads and exit")
+		compare  = flag.Bool("compare", false, "run all mechanisms on the workload and tabulate")
+		custom   = flag.String("custom", "", "JSON file defining a custom workload (overrides -workload)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(mempod.Workloads(), "\n"))
+		return
+	}
+
+	if *compare {
+		if err := runCompare(*wl, *custom, *requests, *seed, *future); err != nil {
+			fmt.Fprintln(os.Stderr, "mempodsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	opts := mempod.Options{
+		Mechanism:      mempod.Mechanism(*mechName),
+		Requests:       *requests,
+		Seed:           *seed,
+		FutureMemories: *future,
+		MemPod: mempod.MemPodOptions{
+			Interval:    mempod.Duration(*interval) * mempod.Microsecond,
+			Counters:    *counters,
+			CounterBits: *bits,
+			CacheBytes:  *cache,
+		},
+		HMA: mempod.HMAOptions{CacheBytes: *cache},
+	}
+	res, err := runOne(*wl, *custom, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mempodsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload            %s\n", res.Workload)
+	fmt.Printf("mechanism           %s\n", res.Mechanism)
+	fmt.Printf("requests            %d\n", res.Requests)
+	fmt.Printf("AMMAT               %.3f ns\n", res.AMMAT())
+	fmt.Printf("simulated time      %s\n", res.Span)
+	fmt.Printf("fast service        %.1f%% (incl. migration traffic)\n", 100*res.FastServiceFraction())
+	fmt.Printf("row-buffer hit rate %.1f%% (fast %.1f%%, slow %.1f%%)\n",
+		100*res.RowHitRate, 100*res.FastRowHitRate, 100*res.SlowRowHitRate)
+	fmt.Printf("intervals           %d\n", res.Mig.Intervals)
+	fmt.Printf("page migrations     %d (%.1f MB moved)\n",
+		res.Mig.PageMigrations, float64(res.Mig.BytesMoved)/(1<<20))
+	if res.Mig.CacheHits+res.Mig.CacheMisses > 0 {
+		fmt.Printf("bookkeeping cache   %.1f%% hit (%d misses)\n",
+			100*float64(res.Mig.CacheHits)/float64(res.Mig.CacheHits+res.Mig.CacheMisses),
+			res.Mig.CacheMisses)
+	}
+	fmt.Printf("lock stalls         %d\n", res.Mig.LockStalls)
+}
+
+// runOne dispatches between a built-in and a custom workload.
+func runOne(wl, customPath string, o mempod.Options) (mempod.Result, error) {
+	if customPath == "" {
+		return mempod.Run(wl, o)
+	}
+	f, err := os.Open(customPath)
+	if err != nil {
+		return mempod.Result{}, err
+	}
+	defer f.Close()
+	return mempod.RunCustom(f, o)
+}
+
+// runCompare tabulates every mechanism on one workload.
+func runCompare(wl, customPath string, requests int, seed int64, future bool) error {
+	var base mempod.Result
+	fmt.Printf("%-10s %12s %12s %12s %12s\n",
+		"mechanism", "AMMAT (ns)", "normalized", "fast %", "moved MB")
+	for _, m := range compareOrder {
+		o := mempod.Options{Mechanism: m, Requests: requests, Seed: seed, FutureMemories: future}
+		if m == mempod.MechHMA {
+			// Scale HMA to the trace length (see EXPERIMENTS.md).
+			o.HMA = mempod.HMAOptions{
+				Interval:      10 * mempod.Millisecond,
+				SortStall:     700 * mempod.Microsecond,
+				MaxMigrations: 4096,
+			}
+		}
+		res, err := runOne(wl, customPath, o)
+		if err != nil {
+			return fmt.Errorf("%s: %w", m, err)
+		}
+		if m == mempod.MechTLM {
+			base = res
+		}
+		fmt.Printf("%-10s %12.2f %12.3f %11.1f%% %12.1f\n",
+			m, res.AMMAT(), res.Normalized(base), 100*res.FastServiceFraction(),
+			float64(res.Mig.BytesMoved)/(1<<20))
+	}
+	return nil
+}

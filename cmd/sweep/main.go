@@ -1,0 +1,82 @@
+// Command sweep runs the §6.3.1 design-space sweeps: Figure 6 (epoch
+// length × MEA counter count) and Figure 7 (counter width).
+//
+// Usage:
+//
+//	sweep                 # quick subset
+//	sweep -full           # sweep-workload subset at full trace length
+//	sweep -fig 6          # only Figure 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+// sweepSubset mirrors mempod.SweepWorkloads (one workload per behaviour
+// class) without importing the facade from a command.
+var sweepSubset = []string{"cactus", "xalanc", "mcf", "bwaves", "lbm", "mix5"}
+
+func main() {
+	var (
+		full      = flag.Bool("full", false, "1M-request traces over the sweep subset")
+		fig       = flag.Int("fig", 0, "run only figure 6 or 7 (0 = both)")
+		requests  = flag.Int("requests", 0, "override trace length")
+		workloads = flag.String("workloads", "", "comma-separated workload subset")
+		ablate    = flag.Bool("ablate", false, "also run the pod-count and tracker ablations")
+	)
+	flag.Parse()
+
+	cfg := exp.QuickConfig().WithWorkloads(sweepSubset...)
+	cfg.Requests = 150_000
+	if *full {
+		cfg.Requests = 1_000_000
+	}
+	if *requests > 0 {
+		cfg.Requests = *requests
+	}
+	if *workloads != "" {
+		cfg = cfg.WithWorkloads(strings.Split(*workloads, ",")...)
+	}
+
+	if *fig == 0 || *fig == 6 {
+		t, err := cfg.Fig6()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(t)
+	}
+	if *fig == 0 || *fig == 7 {
+		t, err := cfg.Fig7()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(t)
+	}
+	if *ablate {
+		t, err := cfg.PodSweep()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(t)
+		t, err = cfg.TrackerSweep()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(t)
+		t, err = cfg.EnergyTable()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(t)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,121 @@
+// Command tracegen generates a workload's synthetic memory trace and
+// writes it in the binary trace format, inspects an existing trace file,
+// or characterizes a workload without writing anything.
+//
+// Usage:
+//
+//	tracegen -workload mix5 -requests 1000000 -out mix5.trace
+//	tracegen -inspect mix5.trace
+//	tracegen -workload lbm -analyze
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+	"repro/internal/tracestat"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		wl       = flag.String("workload", "mix1", "workload name")
+		requests = flag.Int("requests", 1_000_000, "trace length")
+		seed     = flag.Int64("seed", 42, "trace seed")
+		out      = flag.String("out", "", "output file (default <workload>.trace)")
+		inspect  = flag.String("inspect", "", "inspect an existing trace file and exit")
+		analyze  = flag.Bool("analyze", false, "characterize the workload's trace and exit")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		if err := inspectTrace(*inspect); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *analyze {
+		if err := analyzeWorkload(*wl, *requests, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if err := generate(*wl, *requests, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func lookup(name string) (workload.Workload, error) {
+	for _, cand := range workload.All() {
+		if cand.Name == name {
+			return cand, nil
+		}
+	}
+	return workload.Workload{}, fmt.Errorf("unknown workload %q", name)
+}
+
+func analyzeWorkload(name string, requests int, seed int64) error {
+	w, err := lookup(name)
+	if err != nil {
+		return err
+	}
+	s, err := w.Stream(requests, seed)
+	if err != nil {
+		return err
+	}
+	sum, err := tracestat.Analyze(s, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload %s\n%s", name, sum)
+	return nil
+}
+
+func generate(name string, requests int, seed int64, out string) error {
+	w, err := lookup(name)
+	if err != nil {
+		return err
+	}
+	s, err := w.Stream(requests, seed)
+	if err != nil {
+		return err
+	}
+	if out == "" {
+		out = name + ".trace"
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	n, err := trace.Write(f, s)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d requests to %s\n", n, out)
+	return nil
+}
+
+func inspectTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	s, err := trace.Read(f)
+	if err != nil {
+		return err
+	}
+	sum, err := tracestat.Analyze(s, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace %s\n%s", path, sum)
+	return nil
+}

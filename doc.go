@@ -1,0 +1,32 @@
+// Package mempod is a from-scratch Go reproduction of "MemPod: A Clustered
+// Architecture for Efficient and Scalable Migration in Flat Address Space
+// Multi-level Memories" (Prodromou, Meswani, Jayasena, Loh, Tullsen —
+// HPCA 2017).
+//
+// The package is the public facade over the full simulator:
+//
+//   - a two-level DRAM memory system (1 GB stacked HBM + 8 GB DDR4-1600)
+//     with bank/row-buffer/bus timing (internal/dram, internal/memsys);
+//   - the MemPod mechanism itself — pods clustering memory controllers,
+//     MEA activity tracking, remap/inverted tables, interval migration
+//     (internal/core, internal/mea);
+//   - the three baselines the paper compares against: HMA, THM and CAMEO
+//     (internal/hma, internal/thm, internal/cameo);
+//   - synthetic SPEC CPU2006-like multi-programmed workloads standing in
+//     for the paper's Sniper-captured traces (internal/workload);
+//   - the complete evaluation: every table and figure of the paper
+//     (internal/exp), regenerable via this package, cmd/experiments, or
+//     the benchmarks in bench_test.go.
+//
+// # Quick start
+//
+//	res, err := mempod.Run("mix5", mempod.Options{
+//		Mechanism: mempod.MechMemPod,
+//		Requests:  500_000,
+//	})
+//	if err != nil { ... }
+//	fmt.Printf("AMMAT %.2f ns, moved %d MB\n", res.AMMAT(), res.Mig.BytesMoved>>20)
+//
+// See examples/ for runnable programs and DESIGN.md / EXPERIMENTS.md for
+// the reproduction methodology and results.
+package mempod

@@ -1,0 +1,45 @@
+package mempod_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// The simplest use: run one workload under MemPod and read the paper's
+// headline metric.
+func ExampleRun() {
+	res, err := mempod.Run("mix5", mempod.Options{
+		Mechanism: mempod.MechMemPod,
+		Requests:  50_000,
+		Seed:      42,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Requests, "requests,", res.Mechanism)
+	fmt.Println("AMMAT positive:", res.AMMAT() > 0)
+	// Output:
+	// 50000 requests, MemPod
+	// AMMAT positive: true
+}
+
+// Comparing a mechanism against the no-migration baseline.
+func ExampleResult_Normalized() {
+	base, _ := mempod.Run("cactus", mempod.Options{Mechanism: mempod.MechTLM, Requests: 50_000})
+	mp, _ := mempod.Run("cactus", mempod.Options{Mechanism: mempod.MechMemPod, Requests: 50_000})
+	fmt.Println("normalized below 2x:", mp.Normalized(base) < 2)
+	// Output:
+	// normalized below 2x: true
+}
+
+// Regenerating one of the paper's tables.
+func ExampleRunExperiment() {
+	tab, err := mempod.RunExperiment(mempod.Table3, mempod.Quick)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(tab.ID, "rows:", len(tab.Rows))
+	// Output:
+	// table3 rows: 12
+}

@@ -1,0 +1,52 @@
+// futurescaling reproduces a slice of the paper's Figure 10: as the speed
+// differential between stacked and off-chip memory widens (4 GHz HBM vs
+// DDR4-2400), migration mechanisms gain value, and MemPod scales best.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func run(w string, m mempod.Mechanism, future bool) mempod.Result {
+	o := mempod.Options{Mechanism: m, Requests: 2_000_000, FutureMemories: future}
+	if m == mempod.MechHMA {
+		o.HMA = mempod.HMAOptions{
+			Interval:      10 * mempod.Millisecond,
+			SortStall:     700 * mempod.Microsecond,
+			MaxMigrations: 4096,
+		}
+		if future {
+			// The paper reduces HMA's sort penalty 40% for the faster
+			// future processor.
+			o.HMA.SortStall = 420 * mempod.Microsecond
+		}
+	}
+	r, err := mempod.Run(w, o)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
+}
+
+func main() {
+	const workload = "mix5"
+	mechanisms := []mempod.Mechanism{mempod.MechTLM, mempod.MechMemPod, mempod.MechTHM, mempod.MechHMA}
+
+	fmt.Printf("workload %s — AMMAT improvement of migration over no-migration TLM\n\n", workload)
+	fmt.Printf("%-10s %18s %18s\n", "mechanism", "today (HBM+DDR4-1600)", "future (4GHz HBM+DDR4-2400)")
+
+	baseNow := run(workload, mempod.MechTLM, false)
+	baseFut := run(workload, mempod.MechTLM, true)
+	for _, m := range mechanisms[1:] {
+		now := run(workload, m, false)
+		fut := run(workload, m, true)
+		fmt.Printf("%-10s %20.1f%% %21.1f%%\n", m,
+			100*(1-now.AMMAT()/baseNow.AMMAT()),
+			100*(1-fut.AMMAT()/baseFut.AMMAT()))
+	}
+	fmt.Println("\nThe wider the fast:slow differential, the more each migrated page is")
+	fmt.Println("worth — the scalability argument of §6.3.4.")
+}

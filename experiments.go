@@ -1,0 +1,129 @@
+package mempod
+
+import (
+	"repro/internal/exp"
+	"repro/internal/report"
+)
+
+// Table is a rendered experiment result: the rows/series of one of the
+// paper's tables or figures.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Text and CSV are pre-rendered forms.
+	Text string
+	CSV  string
+}
+
+func fromReport(t *report.Table) *Table {
+	return &Table{
+		ID: t.ID, Title: t.Title, Columns: t.Columns, Rows: t.Rows,
+		Text: t.String(), CSV: t.CSV(),
+	}
+}
+
+// ExperimentScale selects how much of the evaluation to run.
+type ExperimentScale int
+
+// Experiment scales: Quick runs a representative subset in seconds per
+// figure, Full runs the paper's complete workload set (minutes per figure
+// on one core).
+const (
+	Quick ExperimentScale = iota
+	Full
+)
+
+// Experiment identifies one of the paper's tables or figures.
+type Experiment string
+
+// All experiments of the paper's evaluation.
+const (
+	Fig1   Experiment = "fig1"   // MEA counting accuracy vs FC
+	Fig2   Experiment = "fig2"   // MEA vs FC future prediction (averages)
+	Fig3   Experiment = "fig3"   // MEA vs FC prediction, selected workloads
+	Fig6   Experiment = "fig6"   // epoch x counters design space
+	Fig7   Experiment = "fig7"   // counter width sensitivity
+	Fig8   Experiment = "fig8"   // mechanism comparison
+	Fig9   Experiment = "fig9"   // bookkeeping-cache sensitivity
+	Fig10  Experiment = "fig10"  // future-technology scalability
+	Table1 Experiment = "table1" // building-block comparison
+	Table2 Experiment = "table2" // system configuration
+	Table3 Experiment = "table3" // mixed workloads
+)
+
+// Experiments lists every regenerable table and figure in paper order.
+func Experiments() []Experiment {
+	return []Experiment{Fig1, Fig2, Fig3, Table1, Table2, Table3, Fig6, Fig7, Fig8, Fig9, Fig10}
+}
+
+// RunExperiment regenerates one table or figure of the paper at the given
+// scale. Sweeps (Fig6, Fig7, Fig9) always run on a representative workload
+// subset; Fig1–3, Fig8 and Fig10 use the full 27-workload set at Full
+// scale.
+func RunExperiment(e Experiment, scale ExperimentScale) (*Table, error) {
+	cfg := expConfig(e, scale)
+	var t *report.Table
+	var err error
+	switch e {
+	case Fig1:
+		t, err = cfg.Fig1()
+	case Fig2:
+		t, err = cfg.Fig2()
+	case Fig3:
+		t, err = cfg.Fig3()
+	case Fig6:
+		t, err = cfg.Fig6()
+	case Fig7:
+		t, err = cfg.Fig7()
+	case Fig8:
+		t, err = cfg.Fig8()
+	case Fig9:
+		t, err = cfg.Fig9()
+	case Fig10:
+		t, err = cfg.Fig10()
+	case Table1:
+		t = exp.Table1()
+	case Table2:
+		t = exp.Table2()
+	case Table3:
+		t = exp.Table3()
+	default:
+		return nil, errUnknownExperiment(e)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return fromReport(t), nil
+}
+
+// SweepWorkloads is the representative subset the design-space sweeps run
+// on (one per behaviour class: stable hot set, drifting hot set, pointer
+// chasing, streaming, work front, mixed).
+var SweepWorkloads = []string{"cactus", "xalanc", "mcf", "bwaves", "lbm", "mix5"}
+
+func expConfig(e Experiment, scale ExperimentScale) exp.Config {
+	var cfg exp.Config
+	if scale == Full {
+		cfg = exp.DefaultConfig()
+	} else {
+		cfg = exp.QuickConfig()
+	}
+	// Sweeps multiply run counts by 30+; bound them to the subset even at
+	// full scale, as documented in EXPERIMENTS.md.
+	switch e {
+	case Fig6, Fig7, Fig9:
+		cfg = cfg.WithWorkloads(SweepWorkloads...)
+		if scale == Full {
+			cfg.Requests = 1_000_000
+		}
+	}
+	return cfg
+}
+
+type errUnknownExperiment Experiment
+
+func (e errUnknownExperiment) Error() string {
+	return "mempod: unknown experiment " + string(e)
+}

@@ -1,0 +1,302 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometryConstants(t *testing.T) {
+	if LinesPerPage != 32 {
+		t.Errorf("LinesPerPage = %d, want 32 (paper: 32 reads per 2KB page)", LinesPerPage)
+	}
+	if PagesPerRow != 4 {
+		t.Errorf("PagesPerRow = %d, want 4 (8KB row / 2KB page)", PagesPerRow)
+	}
+}
+
+func TestDefaultLayoutMatchesPaper(t *testing.T) {
+	l := DefaultLayout()
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.FastPages(); got != 524288 {
+		t.Errorf("FastPages = %d, want 524288 (1GB/2KB)", got)
+	}
+	if got := l.SlowPages(); got != 4194304 {
+		t.Errorf("SlowPages = %d, want 4194304 (8GB/2KB)", got)
+	}
+	if got := l.FastPagesPerPod(); got != 131072 {
+		t.Errorf("FastPagesPerPod = %d, want 131072", got)
+	}
+	if got := l.SlowPagesPerPod(); got != 1048576 {
+		t.Errorf("SlowPagesPerPod = %d, want 1048576", got)
+	}
+	// The paper: "21 bits are needed to address each page within a Pod",
+	// i.e. pages-per-pod fits in 21 bits.
+	if ppp := l.PagesPerPod(); ppp > 1<<21 {
+		t.Errorf("PagesPerPod = %d does not fit in 21 bits", ppp)
+	}
+	if l.Channels() != 12 || l.FastChannelsPerPod() != 2 || l.SlowChannelsPerPod() != 1 {
+		t.Errorf("channel organization wrong: %d total, %d fast/pod, %d slow/pod",
+			l.Channels(), l.FastChannelsPerPod(), l.SlowChannelsPerPod())
+	}
+}
+
+func TestValidateRejectsBadLayouts(t *testing.T) {
+	bad := []Layout{
+		{FastBytes: 1 << 30, SlowBytes: 8 << 30, FastChannels: 8, SlowChannels: 4, NumPods: 0},
+		{FastBytes: 1 << 30, SlowBytes: 8 << 30, FastChannels: 7, SlowChannels: 4, NumPods: 4},
+		{FastBytes: 1 << 30, SlowBytes: 8 << 30, FastChannels: 8, SlowChannels: 3, NumPods: 4},
+		{FastBytes: 1000, SlowBytes: 8 << 30, FastChannels: 8, SlowChannels: 4, NumPods: 4},
+		{FastBytes: 0, SlowBytes: 8 << 30, FastChannels: 8, SlowChannels: 4, NumPods: 4},
+		{FastBytes: 1 << 30, SlowBytes: 8 << 30, FastChannels: 0, SlowChannels: 4, NumPods: 4},
+		{},
+	}
+	for i, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("layout %d: Validate accepted invalid layout %+v", i, l)
+		}
+	}
+}
+
+func TestSingleLevelLayouts(t *testing.T) {
+	hbmOnly := Layout{FastBytes: 9 << 30, FastChannels: 8, NumPods: 4}
+	if err := hbmOnly.Validate(); err != nil {
+		t.Errorf("HBM-only layout rejected: %v", err)
+	}
+	if hbmOnly.TwoLevel() {
+		t.Error("HBM-only reported as two-level")
+	}
+	ddrOnly := Layout{SlowBytes: 9 << 30, SlowChannels: 4, NumPods: 4}
+	if err := ddrOnly.Validate(); err != nil {
+		t.Errorf("DDR-only layout rejected: %v", err)
+	}
+	// Every page of a DDR-only layout must resolve without panicking.
+	for p := Page(0); p < 100; p++ {
+		pod, f := ddrOnly.HomeFrame(p)
+		loc := ddrOnly.FrameLocation(pod, f, 0)
+		if loc.Fast {
+			t.Fatalf("page %d resolved to fast memory in DDR-only layout", p)
+		}
+	}
+	if !DefaultLayout().TwoLevel() {
+		t.Error("default layout not two-level")
+	}
+}
+
+func TestPageLineArithmetic(t *testing.T) {
+	if PageOf(4096) != 2 || PageOf(4095) != 1 {
+		t.Error("PageOf wrong")
+	}
+	if LineOf(128) != 2 {
+		t.Error("LineOf wrong")
+	}
+	if LineOfPage(3, 5) != 3*32+5 {
+		t.Error("LineOfPage wrong")
+	}
+	if PageOfLine(LineOfPage(7, 31)) != 7 {
+		t.Error("PageOfLine inverse wrong")
+	}
+	if Page(5).Base() != 10240 {
+		t.Error("Base wrong")
+	}
+}
+
+// Every page must map to exactly one (pod, frame), frames within a pod must
+// be unique, and FrameLocation must keep pods on disjoint channel sets.
+func TestHomeFrameBijectionFast(t *testing.T) {
+	l := DefaultLayout()
+	seen := make(map[[2]uint64]Page)
+	// Check a dense prefix of fast pages plus a dense prefix of slow pages.
+	var pages []Page
+	for p := Page(0); p < 4096; p++ {
+		pages = append(pages, p)
+	}
+	for p := l.FastPages(); p < l.FastPages()+4096; p++ {
+		pages = append(pages, p)
+	}
+	for _, p := range pages {
+		pod, f := l.HomeFrame(p)
+		if pod != l.PodOf(p) {
+			t.Fatalf("page %d: HomeFrame pod %d != PodOf %d", p, pod, l.PodOf(p))
+		}
+		if l.IsFast(p) != l.IsFastFrame(f) {
+			t.Fatalf("page %d: fast/slow mismatch (frame %d)", p, f)
+		}
+		key := [2]uint64{uint64(pod), uint64(f)}
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("pages %d and %d share frame (%d,%d)", prev, p, pod, f)
+		}
+		seen[key] = p
+	}
+}
+
+func TestFrameLocationChannelOwnership(t *testing.T) {
+	l := DefaultLayout()
+	// Record which pod uses each channel; ownership must be disjoint.
+	owner := make(map[int]int)
+	for pod := 0; pod < l.NumPods; pod++ {
+		frames := []Frame{0, 1, 2, 3, Frame(l.FastPagesPerPod()), Frame(l.FastPagesPerPod() + 1)}
+		for _, f := range frames {
+			loc := l.FrameLocation(pod, f, 0)
+			if loc.Channel < 0 || loc.Channel >= l.Channels() {
+				t.Fatalf("pod %d frame %d: channel %d out of range", pod, f, loc.Channel)
+			}
+			if loc.Fast != l.IsFastFrame(f) {
+				t.Fatalf("pod %d frame %d: Fast mismatch", pod, f)
+			}
+			if prev, ok := owner[loc.Channel]; ok && prev != pod {
+				t.Fatalf("channel %d used by pods %d and %d", loc.Channel, prev, pod)
+			}
+			owner[loc.Channel] = pod
+		}
+	}
+	if len(owner) != l.Channels() {
+		t.Errorf("pods cover %d channels, want %d", len(owner), l.Channels())
+	}
+}
+
+// Consecutive fast frames on the same channel must share rows in groups of
+// PagesPerRow — the co-location property behind the paper's libquantum
+// row-buffer-hit observation.
+func TestFastFrameRowColocation(t *testing.T) {
+	l := DefaultLayout()
+	cpp := l.FastChannelsPerPod()
+	// Frames f and f+cpp are consecutive slots on the same channel.
+	base := l.FrameLocation(0, 0, 0)
+	for i := 1; i < PagesPerRow; i++ {
+		loc := l.FrameLocation(0, Frame(i*cpp), 0)
+		if loc.Channel != base.Channel {
+			t.Fatalf("frame stride %d changed channel", cpp)
+		}
+		if loc.Row != base.Row {
+			t.Errorf("frame %d: row %d, want same row %d", i*cpp, loc.Row, base.Row)
+		}
+	}
+	next := l.FrameLocation(0, Frame(PagesPerRow*cpp), 0)
+	if next.Row == base.Row {
+		t.Error("row did not advance after PagesPerRow frames")
+	}
+}
+
+// Distinct lines must never collide in (channel, row, col): the layout is
+// injective over the whole flat address space.
+func TestHomeLocationInjective(t *testing.T) {
+	l := DefaultLayout()
+	type key struct {
+		ch  int
+		row uint64
+		col uint32
+	}
+	seen := make(map[key]Line)
+	probe := func(ln Line) {
+		loc := l.HomeLocation(ln)
+		k := key{loc.Channel, loc.Row, loc.Col}
+		if prev, dup := seen[k]; dup && prev != ln {
+			t.Fatalf("lines %d and %d collide at %+v", prev, ln, loc)
+		}
+		seen[k] = ln
+	}
+	for ln := Line(0); ln < 8192; ln++ {
+		probe(ln)
+	}
+	slowStart := Line(uint64(l.FastPages()) * LinesPerPage)
+	for ln := slowStart; ln < slowStart+8192; ln++ {
+		probe(ln)
+	}
+}
+
+func TestHomeLocationProperty(t *testing.T) {
+	l := DefaultLayout()
+	total := uint64(l.TotalPages()) * LinesPerPage
+	prop := func(raw uint64) bool {
+		ln := Line(raw % total)
+		loc := l.HomeLocation(ln)
+		p := PageOfLine(ln)
+		// Fast flag must agree with the page's region.
+		if loc.Fast != l.IsFast(p) {
+			return false
+		}
+		// Column must address within a row.
+		if loc.Col >= RowBytes/LineBytes {
+			return false
+		}
+		// Fast channels are [0, FastChannels).
+		if loc.Fast != (loc.Channel < l.FastChannels) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// All 32 lines of one page land on the same channel and row (a 2KB page
+// never spans rows or channels).
+func TestPageLinesStayTogether(t *testing.T) {
+	l := DefaultLayout()
+	for _, p := range []Page{0, 1, 7, 524288, 524289, 1000000} {
+		pod, f := l.HomeFrame(p)
+		first := l.FrameLocation(pod, f, 0)
+		for i := 1; i < LinesPerPage; i++ {
+			loc := l.FrameLocation(pod, f, i)
+			if loc.Channel != first.Channel || loc.Row != first.Row {
+				t.Fatalf("page %d line %d strayed: %+v vs %+v", p, i, loc, first)
+			}
+			if loc.Col != first.Col+uint32(i) {
+				t.Fatalf("page %d line %d: col %d, want %d", p, i, loc.Col, first.Col+uint32(i))
+			}
+		}
+	}
+}
+
+// Property: HomeFrame and FrameLocation agree on pod ownership and
+// fast/slow classification for arbitrary pages of the default layout.
+func TestHomeFrameLocationAgreementProperty(t *testing.T) {
+	l := DefaultLayout()
+	total := uint64(l.TotalPages())
+	prop := func(raw uint64) bool {
+		p := Page(raw % total)
+		pod, f := l.HomeFrame(p)
+		if pod != l.PodOf(p) {
+			return false
+		}
+		loc := l.FrameLocation(pod, f, 0)
+		if loc.Fast != l.IsFast(p) {
+			return false
+		}
+		// Fast channels [0, FastChannels) belong to pods in blocks of
+		// FastChannelsPerPod; slow similarly.
+		if loc.Fast {
+			return loc.Channel/l.FastChannelsPerPod() == pod
+		}
+		return (loc.Channel-l.FastChannels)/l.SlowChannelsPerPod() == pod
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: distinct random lines never collide in (channel,row,col).
+func TestHomeLocationCollisionProperty(t *testing.T) {
+	l := DefaultLayout()
+	totalLines := uint64(l.TotalPages()) * LinesPerPage
+	type key struct {
+		ch  int
+		row uint64
+		col uint32
+	}
+	prop := func(a, b uint64) bool {
+		la, lb := Line(a%totalLines), Line(b%totalLines)
+		if la == lb {
+			return true
+		}
+		ka := l.HomeLocation(la)
+		kb := l.HomeLocation(lb)
+		return key{ka.Channel, ka.Row, ka.Col} != key{kb.Channel, kb.Row, kb.Col}
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,237 @@
+// Package cameo models the CAMEO baseline (Chou et al., MICRO 2014) as the
+// MemPod paper evaluates it (§2, §4, §6).
+//
+// CAMEO manages the flat address space at 64 B line granularity.
+// Congruence groups pair one fast line with R slow lines (R = 8 at the 1:8
+// capacity ratio); *every* access to a slow-resident line triggers an
+// immediate swap with the group's fast slot. No activity tracking exists;
+// the migration trigger is the access event itself. At a high slow:fast
+// ratio this floods the system with movement — the effect behind CAMEO's
+// AMMAT degradation in Figure 8.
+package cameo
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/clock"
+	"repro/internal/mech"
+	"repro/internal/trace"
+)
+
+// Config holds CAMEO's parameters.
+type Config struct {
+	// SwapOnWrite controls whether writeback accesses also trigger swaps
+	// (CAMEO swaps on every slow access; kept as a knob for ablations).
+	SwapOnWrite bool
+	// UseLLP enables the Line Location Predictor model: a misprediction
+	// costs one wasted access at the predicted-but-wrong location before
+	// the replay. Disabled in the paper's Figure 8 comparison (all
+	// mechanisms run with free bookkeeping there), available for
+	// ablations.
+	UseLLP bool
+	// LLPLogEntries sizes the predictor table (default 14: 16K entries).
+	LLPLogEntries int
+}
+
+// DefaultConfig returns the paper's CAMEO behaviour.
+func DefaultConfig() Config { return Config{SwapOnWrite: true} }
+
+// group state: a 9-slot permutation, 4 bits per slot, slot 0 = fast slot.
+// Members: 0 is the group's fast line, 1..R its slow lines.
+
+// CAMEO implements mech.Mechanism.
+type CAMEO struct {
+	cfg      Config
+	backend  *mech.Backend
+	layout   addr.Layout
+	groups   []uint64 // permutation per congruence group
+	members  int
+	identity uint64
+	locks    map[uint64]clock.Time // flat line -> swap completion
+	pred     *llp
+	mispred  uint64
+	stats    mech.MigStats
+}
+
+// New builds a CAMEO over the backend's two-level memory.
+func New(cfg Config, b *mech.Backend) (*CAMEO, error) {
+	l := b.Layout
+	if !l.TwoLevel() {
+		return nil, fmt.Errorf("cameo: layout is not two-level")
+	}
+	if l.SlowBytes%l.FastBytes != 0 {
+		return nil, fmt.Errorf("cameo: slow capacity not a multiple of fast capacity")
+	}
+	ratio := int(l.SlowBytes / l.FastBytes)
+	if ratio+1 > 16 {
+		return nil, fmt.Errorf("cameo: ratio %d exceeds 4-bit member encoding", ratio)
+	}
+	c := &CAMEO{
+		cfg:     cfg,
+		backend: b,
+		layout:  l,
+		groups:  make([]uint64, l.FastLines()),
+		members: ratio + 1,
+		locks:   make(map[uint64]clock.Time),
+	}
+	for i := 0; i < c.members; i++ {
+		c.identity |= uint64(i) << (4 * i)
+	}
+	if cfg.UseLLP {
+		logN := cfg.LLPLogEntries
+		if logN <= 0 {
+			logN = 14
+		}
+		c.pred = newLLP(logN)
+	}
+	// Groups start as the identity permutation; the slice is initialized
+	// lazily on first touch (zero means "uninitialized", and member 0 in
+	// every slot would be ambiguous, so zero is re-mapped on read).
+	return c, nil
+}
+
+// MustNew is New for known-good configurations; it panics on error.
+func MustNew(cfg Config, b *mech.Backend) *CAMEO {
+	c, err := New(cfg, b)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Name implements mech.Mechanism.
+func (c *CAMEO) Name() string { return "CAMEO" }
+
+// Stats implements mech.Mechanism.
+func (c *CAMEO) Stats() mech.MigStats { return c.stats }
+
+// groupOf decomposes a flat line into (group, member).
+func (c *CAMEO) groupOf(ln addr.Line) (grp uint64, member int) {
+	fast := uint64(c.layout.FastLines())
+	if uint64(ln) < fast {
+		return uint64(ln), 0
+	}
+	s := uint64(ln) - fast
+	return s % fast, 1 + int(s/fast)
+}
+
+// lineOf is the inverse of groupOf.
+func (c *CAMEO) lineOf(grp uint64, member int) addr.Line {
+	if member == 0 {
+		return addr.Line(grp)
+	}
+	fast := uint64(c.layout.FastLines())
+	return addr.Line(fast + grp + uint64(member-1)*fast)
+}
+
+func (c *CAMEO) perm(grp uint64) uint64 {
+	if p := c.groups[grp]; p != 0 {
+		return p
+	}
+	return c.identity
+}
+
+func memberAt(perm uint64, slot int) int { return int(perm >> (4 * slot) & 0xF) }
+
+func slotOf(perm uint64, member, members int) int {
+	for s := 0; s < members; s++ {
+		if memberAt(perm, s) == member {
+			return s
+		}
+	}
+	panic("cameo: corrupt group permutation")
+}
+
+// Access implements mech.Mechanism: serve the line from its current slot;
+// if that slot is slow, swap the line into the group's fast slot.
+func (c *CAMEO) Access(r *trace.Request, at clock.Time) clock.Time {
+	ln := addr.LineOf(addr.Addr(r.Addr))
+	grp, member := c.groupOf(ln)
+	perm := c.perm(grp)
+	slot := slotOf(perm, member, c.members)
+
+	start := at
+	var lockEnd clock.Time
+	if end, locked := c.locks[uint64(ln)]; locked {
+		if end > start {
+			lockEnd = end
+			c.stats.LockStalls++
+		} else {
+			delete(c.locks, uint64(ln))
+		}
+	}
+
+	if c.pred != nil {
+		// Mispredictions pay a wasted probe at the predicted location
+		// before the request replays at the correct slot.
+		if predicted := c.pred.Predict(grp); predicted != slot {
+			c.mispred++
+			wrong := c.lineOf(grp, predicted%c.members)
+			start = c.backend.Sys.Access(c.layout.HomeLocation(wrong), false, start)
+		}
+		c.pred.Update(grp, slot)
+	}
+	slotLine := c.lineOf(grp, slot)
+	done := c.backend.Sys.Access(c.layout.HomeLocation(slotLine), r.Write, start)
+	if lockEnd > done {
+		done = lockEnd
+	}
+
+	if slot != 0 && (c.cfg.SwapOnWrite || !r.Write) {
+		// Event-triggered swap with the fast slot.
+		fastLine := c.lineOf(grp, 0)
+		end := c.backend.SwapLines(
+			c.layout.HomeLocation(fastLine),
+			c.layout.HomeLocation(slotLine),
+			start,
+		)
+		evicted := c.lineOf(grp, memberAt(perm, 0))
+		newPerm := perm
+		ma, mb := uint64(memberAt(perm, 0)), uint64(memberAt(perm, slot))
+		newPerm &^= 0xF | 0xF<<(4*slot)
+		newPerm |= mb | ma<<(4*slot)
+		c.groups[grp] = newPerm
+		c.locks[uint64(ln)] = end
+		c.locks[uint64(evicted)] = end
+		c.stats.PageMigrations++ // one line promoted per event
+		c.stats.LineMigrations += 2
+		c.stats.GlobalMoveLines += 2 // MC-to-MC swaps cross the switch (§4.4)
+		c.stats.BytesMoved += 2 * addr.LineBytes
+	}
+	return done
+}
+
+// CheckInvariants verifies that every touched group's slot assignment is a
+// permutation of its members. O(memory); intended for tests.
+func (c *CAMEO) CheckInvariants() error {
+	for g, perm := range c.groups {
+		if perm == 0 {
+			continue // untouched: identity
+		}
+		var seen uint16
+		for slot := 0; slot < c.members; slot++ {
+			m := memberAt(perm, slot)
+			if m >= c.members {
+				return fmt.Errorf("cameo: group %d slot %d holds invalid member %d", g, slot, m)
+			}
+			if seen&(1<<m) != 0 {
+				return fmt.Errorf("cameo: group %d member %d appears twice", g, m)
+			}
+			seen |= 1 << m
+		}
+	}
+	return nil
+}
+
+// Mispredictions reports LLP misses (0 when the predictor is disabled).
+func (c *CAMEO) Mispredictions() uint64 { return c.mispred }
+
+// SlotOfLine reports which slot (0 = fast) a flat line currently occupies,
+// for tests.
+func (c *CAMEO) SlotOfLine(ln addr.Line) int {
+	grp, member := c.groupOf(ln)
+	return slotOf(c.perm(grp), member, c.members)
+}
+
+var _ mech.Mechanism = (*CAMEO)(nil)

@@ -1,0 +1,42 @@
+package cameo
+
+// The Line Location Predictor (LLP) of Chou et al.: CAMEO keeps its
+// congruence-group permutations in memory, so a naive implementation would
+// read remap state before every access. The LLP is a small on-chip table
+// predicting which slot a line currently occupies; the access is issued to
+// the predicted location immediately, and the in-memory metadata (fetched
+// in parallel or piggybacked) confirms it. A correct prediction hides the
+// metadata latency entirely; a misprediction costs one wasted access
+// before the request is replayed at the right location.
+//
+// The predictor is last-outcome per group, over a direct-mapped table:
+// the common case (a group whose fast slot is stable between touches)
+// predicts correctly, and thrashing groups mispredict — exactly the
+// behaviour the paper describes degrading CAMEO under contention.
+
+// llp is a direct-mapped last-outcome slot predictor.
+type llp struct {
+	slots []uint8
+	mask  uint64
+}
+
+// newLLP builds a predictor with 2^logEntries entries.
+func newLLP(logEntries int) *llp {
+	n := 1 << logEntries
+	return &llp{slots: make([]uint8, n), mask: uint64(n - 1)}
+}
+
+func (l *llp) index(grp uint64) uint64 {
+	// splitmix-style scramble so adjacent groups spread over the table.
+	x := grp
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x & l.mask
+}
+
+// Predict returns the predicted slot for a group.
+func (l *llp) Predict(grp uint64) int { return int(l.slots[l.index(grp)]) }
+
+// Update records the observed slot.
+func (l *llp) Update(grp uint64, slot int) { l.slots[l.index(grp)] = uint8(slot) }

@@ -1,0 +1,108 @@
+package clock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPeriodExactness(t *testing.T) {
+	cases := []struct {
+		f    Freq
+		want Duration
+	}{
+		{1 * GHz, 1_000_000},     // HBM bus
+		{800 * MHz, 1_250_000},   // DDR4-1600 bus
+		{3200 * MHz, 312_500},    // 3.2 GHz core
+		{1200 * MHz, 833_333},    // DDR4-2400 bus (truncated, see below)
+		{4 * GHz, 250_000},       // future HBM
+		{2 * GHz, 500_000},       //
+		{100 * MHz, 10_000_000},  // 10 ns
+		{1 * MHz, 1_000_000_000}, // 1 us
+	}
+	for _, c := range cases {
+		if got := c.f.Period(); got != c.want {
+			t.Errorf("Period(%d) = %d, want %d", c.f, got, c.want)
+		}
+	}
+}
+
+func TestCycles(t *testing.T) {
+	if got := (1 * GHz).Cycles(7); got != 7*Picosecond*1000 {
+		t.Errorf("7 cycles at 1GHz = %v, want 7ns", got)
+	}
+	if got := (800 * MHz).Cycles(11); got != 13_750_000 {
+		t.Errorf("11 cycles at 800MHz = %d fs, want 13.75ns", got)
+	}
+	if got := (3200 * MHz).Cycles(0); got != 0 {
+		t.Errorf("0 cycles = %v, want 0", got)
+	}
+}
+
+func TestPeriodPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Period(0) did not panic")
+		}
+	}()
+	Freq(0).Period()
+}
+
+func TestConversions(t *testing.T) {
+	if got := Time(1_500_000).Nanoseconds(); got != 1.5 {
+		t.Errorf("Nanoseconds = %v, want 1.5", got)
+	}
+	if got := (50 * Microsecond).Microseconds(); got != 50 {
+		t.Errorf("Microseconds = %v, want 50", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{5, "5fs"},
+		{2 * Picosecond, "2.00ps"},
+		{3 * Nanosecond, "3.00ns"},
+		{50 * Microsecond, "50.00us"},
+		{7 * Millisecond, "7.00ms"},
+		{2 * Second, "2000.00ms"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("String(%d) = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestMaxMin(t *testing.T) {
+	if Max(3, 5) != 5 || Max(5, 3) != 5 {
+		t.Error("Max wrong")
+	}
+	if Min(3, 5) != 3 || Min(5, 3) != 3 {
+		t.Error("Min wrong")
+	}
+}
+
+func TestMaxMinProperties(t *testing.T) {
+	prop := func(a, b int64) bool {
+		x, y := Time(a), Time(b)
+		mx, mn := Max(x, y), Min(x, y)
+		return mx >= x && mx >= y && mn <= x && mn <= y &&
+			(mx == x || mx == y) && (mn == x || mn == y) &&
+			mx+mn == x+y
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCyclesMonotonic(t *testing.T) {
+	prop := func(n uint16) bool {
+		f := 800 * MHz
+		return f.Cycles(int64(n)+1) > f.Cycles(int64(n))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

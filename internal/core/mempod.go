@@ -1,0 +1,487 @@
+// Package core implements MemPod, the paper's clustered migration
+// mechanism (§5).
+//
+// Memory controllers are clustered into pods; each pod independently
+// tracks the activity of its pages with an MEA unit (internal/mea),
+// maintains a remap table plus an inverted table over its fast frames, and
+// at every interval migrates up to K hot pages into fast memory by
+// swapping them with not-hot fast residents. Migration traffic stays
+// inside the pod and contends with demand traffic on the pod's own
+// channels; pods migrate in parallel.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/clock"
+	"repro/internal/mea"
+	"repro/internal/mech"
+	"repro/internal/trace"
+)
+
+// Config holds MemPod's design-space parameters (§6.3.1).
+type Config struct {
+	// Interval is the migration epoch length. The paper's design point is
+	// 50 µs.
+	Interval clock.Duration
+	// Counters is K, the number of MEA entries per pod (paper: 64).
+	Counters int
+	// CounterBits is the saturating counter width (paper: 2).
+	CounterBits int
+	// CacheBytes is the total on-chip remap-table cache capacity, split
+	// evenly over the pods. Zero disables cache modelling (bookkeeping is
+	// free), matching the paper's cache-disabled experiments.
+	CacheBytes int
+	// CacheWays is the cache associativity (default 8).
+	CacheWays int
+	// UseFullCounters replaces the MEA unit with an exact Full Counters
+	// tracker (one counter per touched page). This is an ablation, not a
+	// buildable design point — it is what MEA's ~12800x storage saving
+	// replaces; migrations are still capped at Counters per pod per epoch
+	// (the top of the exact ranking).
+	UseFullCounters bool
+}
+
+// DefaultConfig returns the design point the paper converges on:
+// 50 µs intervals, 64 two-bit MEA counters per pod, no cache model.
+func DefaultConfig() Config {
+	return Config{Interval: 50 * clock.Microsecond, Counters: 64, CounterBits: 2}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Interval <= 0:
+		return fmt.Errorf("mempod: interval %d", c.Interval)
+	case c.Counters <= 0:
+		return fmt.Errorf("mempod: %d MEA counters", c.Counters)
+	case c.CounterBits <= 0 || c.CounterBits > 64:
+		return fmt.Errorf("mempod: counter width %d bits", c.CounterBits)
+	case c.CacheBytes < 0:
+		return fmt.Errorf("mempod: cache %d bytes", c.CacheBytes)
+	}
+	return nil
+}
+
+// remapEntryBytes is the modelled size of one remap-table entry: a 21-bit
+// frame pointer with flags, stored as 4 bytes. Sixteen entries share one
+// 64 B backing-store block.
+const remapEntryBytes = 4
+
+const entriesPerBlock = mech.BlockBytes / remapEntryBytes
+
+// swapChunks is the number of paced chunks one page swap is issued in:
+// 32 line-pairs split into 8 chunks of 4 keeps each copy clump to ~8
+// channel accesses, so migration interleaves with demand instead of
+// monopolizing a channel per swap.
+const swapChunks = 8
+
+const linesPerChunk = addr.LinesPerPage / swapChunks
+
+// schedSwap is one queued unit of migration work: chunk `chunk` of the
+// swap promoting `local` into fast memory, starting no earlier than
+// `start`. Chunk 0 picks the victim and updates the tables.
+type schedSwap struct {
+	start clock.Time
+	local uint32
+	chunk uint8
+}
+
+// tracker abstracts the pod's activity-tracking unit: the MEA design or
+// the Full Counters ablation.
+type tracker interface {
+	Observe(p uint64)
+	Hot() []mea.Entry
+	Reset()
+}
+
+// pod is the per-pod state: tracker, remap tables, victim pointer, cache,
+// the paced migration queue of the current epoch and in-flight swap locks.
+type pod struct {
+	id       int
+	tracker  tracker
+	remap    []uint32 // home frame (local page ID) -> current frame
+	inverted []uint32 // fast frame -> resident local page ID
+	victim   uint32   // rotating victim-identification pointer
+	cache    *mech.Cache
+
+	queue       []schedSwap           // this epoch's migration chunks, paced
+	qpos        int                   // next queue entry to execute
+	hotSet      map[uint32]struct{}   // hot pages of the epoch that built the queue
+	locks       map[uint32]clock.Time // local page -> in-flight swap completion
+	lastSwapEnd clock.Time            // serializes the pod's migration driver
+
+	// In-flight swap state across its chunks.
+	swapSkip     bool   // chunk 0 found nothing to do; skip the rest
+	swapVictim   uint32 // fast frame being filled
+	swapOld      uint32 // slow frame being vacated
+	swapResident uint32 // local page being evicted
+}
+
+// MemPod is the full mechanism. It implements mech.Mechanism.
+type MemPod struct {
+	cfg     Config
+	backend *mech.Backend
+	layout  addr.Layout
+	pods    []pod
+	touch   mech.TouchFilter
+	next    clock.Time // next interval boundary
+	stats   mech.MigStats
+}
+
+// New builds a MemPod over the backend's two-level memory.
+func New(cfg Config, b *mech.Backend) (*MemPod, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	l := b.Layout
+	if !l.TwoLevel() {
+		return nil, fmt.Errorf("mempod: layout is not two-level")
+	}
+	if cfg.CacheWays <= 0 {
+		cfg.CacheWays = 8
+	}
+	m := &MemPod{
+		cfg:     cfg,
+		backend: b,
+		layout:  l,
+		pods:    make([]pod, l.NumPods),
+		next:    cfg.Interval,
+	}
+	perPod := l.PagesPerPod()
+	fast := l.FastPagesPerPod()
+	for i := range m.pods {
+		p := &m.pods[i]
+		p.id = i
+		if cfg.UseFullCounters {
+			p.tracker = mea.NewFullCounters()
+		} else {
+			p.tracker = mea.NewMEA(cfg.Counters, cfg.CounterBits)
+		}
+		p.remap = make([]uint32, perPod)
+		for j := range p.remap {
+			p.remap[j] = uint32(j)
+		}
+		p.inverted = make([]uint32, fast)
+		for j := range p.inverted {
+			p.inverted[j] = uint32(j)
+		}
+		p.locks = make(map[uint32]clock.Time)
+		p.hotSet = make(map[uint32]struct{})
+		if cfg.CacheBytes > 0 {
+			p.cache = mech.NewCache(cfg.CacheBytes/l.NumPods, cfg.CacheWays)
+		}
+	}
+	return m, nil
+}
+
+// MustNew is New for known-good configurations; it panics on error.
+func MustNew(cfg Config, b *mech.Backend) *MemPod {
+	m, err := New(cfg, b)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Name implements mech.Mechanism.
+func (m *MemPod) Name() string {
+	if m.cfg.UseFullCounters {
+		return "MemPod-FC"
+	}
+	return "MemPod"
+}
+
+// Stats implements mech.Mechanism.
+func (m *MemPod) Stats() mech.MigStats { return m.stats }
+
+// Config returns the mechanism's configuration.
+func (m *MemPod) Config() Config { return m.cfg }
+
+// Access implements mech.Mechanism: observe the page in the pod's MEA
+// unit, consult the remap table (through the cache model if enabled),
+// stall behind any in-flight swap of the page, and forward the line to its
+// current frame.
+func (m *MemPod) Access(r *trace.Request, at clock.Time) clock.Time {
+	for at >= m.next {
+		m.runInterval(m.next)
+		m.next += m.cfg.Interval
+	}
+
+	page := addr.PageOf(addr.Addr(r.Addr))
+	podID, home := m.layout.HomeFrame(page)
+	p := &m.pods[podID]
+	local := uint32(home)
+
+	// Execute any queued swaps whose paced start time has arrived, so
+	// channel traffic stays in time order.
+	m.drainPod(p, at)
+
+	if m.touch.Touch(r.Core, uint64(page)) {
+		p.tracker.Observe(uint64(local))
+	}
+
+	start := at
+	if p.cache != nil {
+		block := uint64(local) / entriesPerBlock
+		if p.cache.Access(block) {
+			m.stats.CacheHits++
+		} else {
+			m.stats.CacheMisses++
+			start = m.backend.BookkeepingRead(podID, block, start)
+		}
+	}
+	var lockEnd clock.Time
+	if end, locked := p.locks[local]; locked {
+		if end > start {
+			// The page's swap is in flight: the request cannot complete
+			// before the copy lands. The DRAM access itself still issues
+			// now (channel traffic must stay in time order); the lock
+			// wait is added to the completion.
+			lockEnd = end
+			m.stats.LockStalls++
+		} else {
+			delete(p.locks, local)
+		}
+	}
+
+	f := addr.Frame(p.remap[local])
+	li := int(uint64(addr.LineOf(addr.Addr(r.Addr))) % addr.LinesPerPage)
+	return clock.Max(m.backend.Line(podID, f, li, r.Write, start), lockEnd)
+}
+
+// drainPod executes the pod's due swaps: every queue entry whose paced
+// start is at or before `now`. Swaps serialize through the pod's single
+// migration driver (lastSwapEnd).
+func (m *MemPod) drainPod(p *pod, now clock.Time) {
+	for p.qpos < len(p.queue) && p.queue[p.qpos].start <= now {
+		m.executeSwap(p, p.queue[p.qpos])
+		p.qpos++
+	}
+}
+
+// executeSwap runs one chunk of a queued swap. Chunk 0 chooses the victim
+// through the rotating finder, updates the remap and inverted tables, and
+// locks both pages; each chunk injects its share of the copy traffic and
+// advances the locks to its completion.
+func (m *MemPod) executeSwap(p *pod, sw schedSwap) {
+	if sw.chunk == 0 {
+		p.swapSkip = true
+		cur := p.remap[sw.local]
+		if m.layout.IsFastFrame(addr.Frame(cur)) {
+			return // already resident in fast memory
+		}
+		v, ok := p.findVictim()
+		if !ok {
+			return
+		}
+		p.swapSkip = false
+		p.swapVictim = uint32(v)
+		p.swapOld = cur
+		p.swapResident = p.inverted[uint32(v)]
+
+		if p.cache != nil {
+			// Remap-table updates go through the cache model too.
+			for _, lp := range [2]uint32{sw.local, p.swapResident} {
+				block := uint64(lp) / entriesPerBlock
+				if p.cache.Access(block) {
+					m.stats.CacheHits++
+				} else {
+					m.stats.CacheMisses++
+					t := m.backend.BookkeepingRead(p.id, block, sw.start)
+					if t > p.lastSwapEnd {
+						p.lastSwapEnd = t
+					}
+				}
+			}
+		}
+		p.remap[sw.local] = p.swapVictim
+		p.remap[p.swapResident] = cur
+		p.inverted[p.swapVictim] = sw.local
+		m.stats.PageMigrations++
+	}
+	if p.swapSkip {
+		return
+	}
+
+	// Chunks issue at their paced schedule; the channels themselves
+	// serialize the actual transfers. Issuing at chained completion times
+	// would put future-dated requests into the (time-ordered) channel
+	// model and corrupt it under congestion.
+	lo := int(sw.chunk) * linesPerChunk
+	end := m.backend.SwapPagesChunk(p.id, addr.Frame(p.swapOld), addr.Frame(p.swapVictim),
+		lo, lo+linesPerChunk, sw.start)
+	m.stats.LineMigrations += 2 * linesPerChunk
+	m.stats.BytesMoved += 2 * linesPerChunk * addr.LineBytes
+	if end > p.lastSwapEnd {
+		p.lastSwapEnd = end
+	}
+	if end > p.locks[sw.local] {
+		p.locks[sw.local] = end
+	}
+	if end > p.locks[p.swapResident] {
+		p.locks[p.swapResident] = end
+	}
+}
+
+// runInterval performs the boundary work of one epoch: each pod flushes
+// any swaps still queued from the previous epoch, reads its MEA hot set,
+// schedules up to K promotions paced evenly across the new epoch, and
+// resets its tracker. Pods migrate in parallel; swaps within a pod are
+// serial through the pod's migration driver.
+func (m *MemPod) runInterval(boundary clock.Time) {
+	m.stats.Intervals++
+	for i := range m.pods {
+		p := &m.pods[i]
+		// Retire the previous epoch's queue: an in-flight swap (chunk 0
+		// already executed) must finish copying, but swaps that never
+		// started are stale decisions and are dropped — the migration
+		// driver's bandwidth is bounded, and the new epoch's hot set
+		// supersedes the old one.
+		flushing := p.qpos > 0 && p.queue[p.qpos-1].chunk != swapChunks-1
+		for p.qpos < len(p.queue) {
+			sw := p.queue[p.qpos]
+			if sw.chunk == 0 {
+				flushing = false
+			}
+			if !flushing && sw.chunk == 0 {
+				// Peek: never-started swap -> drop all its chunks.
+				p.qpos += swapChunks
+				m.stats.DroppedMigrations++
+				continue
+			}
+			if sw.start < boundary {
+				sw.start = boundary
+			}
+			m.executeSwap(p, sw)
+			p.qpos++
+		}
+		for local, end := range p.locks {
+			if end <= boundary {
+				delete(p.locks, local)
+			}
+		}
+
+		hot := p.tracker.Hot()
+		if len(hot) > m.cfg.Counters {
+			// The Full Counters ablation ranks every page; migration
+			// bandwidth stays capped at K per pod per epoch.
+			hot = hot[:m.cfg.Counters]
+		}
+		clear(p.hotSet)
+		for _, e := range hot {
+			p.hotSet[uint32(e.Page)] = struct{}{}
+		}
+		// The pod's copy engine has finite bandwidth: one page swap keeps
+		// a DDR channel busy for roughly minSwapTime, and the engine may
+		// still be working off the previous epoch. Schedule only as many
+		// swaps as fit into the epoch's remaining copy time, paced so the
+		// engine is never asked to exceed its rate; the rest of the hot
+		// set is dropped (it will be re-identified if still hot). Without
+		// this feedback, aggressive configurations (many counters x short
+		// epochs, Figure 6's corners) would demand physically impossible
+		// copy rates.
+		// minSwapTime budgets one swap's channel occupancy (~64 DDR line
+		// transfers) plus equal headroom for demand traffic: the copy
+		// engine never claims more than about half of the pod's slow
+		// channel.
+		const minSwapTime = 800 * clock.Nanosecond
+		slotBase := boundary
+		if p.lastSwapEnd > slotBase {
+			slotBase = p.lastSwapEnd
+		}
+		avail := boundary + m.cfg.Interval - slotBase
+		if avail < 0 {
+			avail = 0
+		}
+		var candidates []uint32
+		for _, e := range hot {
+			local := uint32(e.Page)
+			if m.layout.IsFastFrame(addr.Frame(p.remap[local])) {
+				continue // already resident in fast memory
+			}
+			candidates = append(candidates, local)
+		}
+		maxSwaps := int(avail / minSwapTime)
+		if len(candidates) > maxSwaps {
+			m.stats.DroppedMigrations += uint64(len(candidates) - maxSwaps)
+			candidates = candidates[:maxSwaps]
+		}
+
+		p.queue = p.queue[:0]
+		p.qpos = 0
+		if len(candidates) > 0 {
+			spacing := avail / clock.Duration(len(candidates)+1)
+			if spacing < minSwapTime {
+				spacing = minSwapTime
+			}
+			chunkSpacing := spacing / swapChunks
+			for idx, local := range candidates {
+				slot := slotBase + clock.Duration(idx)*spacing
+				for ch := 0; ch < swapChunks; ch++ {
+					p.queue = append(p.queue, schedSwap{
+						start: slot + clock.Duration(ch)*chunkSpacing,
+						local: local,
+						chunk: uint8(ch),
+					})
+				}
+			}
+		}
+		if p.lastSwapEnd < boundary {
+			p.lastSwapEnd = boundary
+		}
+		p.tracker.Reset()
+	}
+}
+
+// findVictim returns the next fast frame whose resident page is not in the
+// epoch's hot set, advancing the rotating pointer; ok is false if every
+// fast frame currently holds a hot page (possible only when K approaches
+// the fast capacity of a pod).
+func (p *pod) findVictim() (addr.Frame, bool) {
+	n := uint32(len(p.inverted))
+	for scanned := uint32(0); scanned < n; scanned++ {
+		v := p.victim
+		p.victim = (p.victim + 1) % n
+		if _, hot := p.hotSet[p.inverted[v]]; !hot {
+			return addr.Frame(v), true
+		}
+	}
+	return 0, false
+}
+
+// FrameOf reports the current frame of a flat-space page, for tests and
+// invariant checks.
+func (m *MemPod) FrameOf(page addr.Page) (podID int, f addr.Frame) {
+	podID, home := m.layout.HomeFrame(page)
+	return podID, addr.Frame(m.pods[podID].remap[uint32(home)])
+}
+
+// CheckInvariants verifies that each pod's remap table is a permutation
+// and that the inverted table matches it. It is O(memory) and intended for
+// tests.
+func (m *MemPod) CheckInvariants() error {
+	for i := range m.pods {
+		p := &m.pods[i]
+		seen := make([]bool, len(p.remap))
+		for local, f := range p.remap {
+			if int(f) >= len(p.remap) {
+				return fmt.Errorf("pod %d: local %d maps to out-of-range frame %d", i, local, f)
+			}
+			if seen[f] {
+				return fmt.Errorf("pod %d: frame %d mapped twice", i, f)
+			}
+			seen[f] = true
+		}
+		for f, resident := range p.inverted {
+			if p.remap[resident] != uint32(f) {
+				return fmt.Errorf("pod %d: inverted[%d]=%d but remap[%d]=%d",
+					i, f, resident, resident, p.remap[resident])
+			}
+		}
+	}
+	return nil
+}
+
+var _ mech.Mechanism = (*MemPod)(nil)

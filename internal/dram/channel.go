@@ -1,0 +1,162 @@
+package dram
+
+import "repro/internal/clock"
+
+// Stats accumulates per-channel service counters.
+type Stats struct {
+	Reads        uint64
+	Writes       uint64
+	RowHits      uint64
+	RowClosed    uint64
+	RowConflicts uint64
+	BusBusy      clock.Duration // cumulative data-bus occupancy
+	LastFinish   clock.Time     // completion time of the latest request
+	Refreshes    uint64         // refresh windows taken (0 unless enabled)
+}
+
+// RowHitRate returns the fraction of accesses that hit an open row.
+func (s Stats) RowHitRate() float64 {
+	total := s.Reads + s.Writes
+	if total == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(total)
+}
+
+// Accesses returns the total number of serviced requests.
+func (s Stats) Accesses() uint64 { return s.Reads + s.Writes }
+
+type bank struct {
+	openRow     int64 // row index currently latched, -1 if precharged
+	nextCmd     clock.Time
+	activatedAt clock.Time
+}
+
+// Channel models one DRAM channel: a set of banks sharing a data bus.
+// Requests are serviced in arrival order with an open-page policy; queueing
+// emerges from per-bank and bus next-available times. Channel is not safe
+// for concurrent use; the engine drives each simulation single-threaded.
+type Channel struct {
+	spec  Spec
+	banks []bank
+	// Cached durations, precomputed once.
+	burst       clock.Duration
+	latHit      clock.Duration
+	latClosed   clock.Duration
+	latConflict clock.Duration
+	ras         clock.Duration
+	rp          clock.Duration
+
+	busFreeAt   clock.Time
+	nextRefresh clock.Time // 0 when refresh is disabled
+	stats       Stats
+}
+
+// NewChannel returns a channel with all banks precharged at time zero.
+func NewChannel(spec Spec) *Channel {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Channel{
+		spec:        spec,
+		banks:       make([]bank, spec.Banks),
+		burst:       spec.BurstTime(),
+		latHit:      spec.RowHitLatency(),
+		latClosed:   spec.RowClosedLatency(),
+		latConflict: spec.RowConflictLatency(),
+		ras:         spec.cycles(spec.RAS),
+		rp:          spec.cycles(spec.RP),
+	}
+	for i := range c.banks {
+		c.banks[i].openRow = -1
+	}
+	if spec.RefreshInterval > 0 {
+		c.nextRefresh = spec.RefreshInterval
+	}
+	return c
+}
+
+// Spec returns the channel's DRAM spec.
+func (c *Channel) Spec() Spec { return c.spec }
+
+// Stats returns a snapshot of the channel's counters.
+func (c *Channel) Stats() Stats { return c.stats }
+
+// Access services one 64-byte request to the given global row index at or
+// after time `at` and returns its completion time (data fully transferred).
+//
+// Rows interleave across banks (bank = row mod Banks), giving streams
+// bank-level parallelism; the row-within-bank keeps row-buffer locality for
+// addresses in the same 8 KB row.
+func (c *Channel) Access(row uint64, write bool, at clock.Time) clock.Time {
+	// Refresh: every tREFI the channel stalls for tRFC with all rows
+	// closed. Catch up on any refresh windows the request time passed.
+	if c.nextRefresh > 0 && at >= c.nextRefresh {
+		for at >= c.nextRefresh {
+			refreshEnd := c.nextRefresh + c.spec.RefreshTime
+			for i := range c.banks {
+				c.banks[i].openRow = -1
+				if c.banks[i].nextCmd < refreshEnd {
+					c.banks[i].nextCmd = refreshEnd
+				}
+			}
+			if c.busFreeAt < refreshEnd {
+				c.busFreeAt = refreshEnd
+			}
+			c.stats.Refreshes++
+			c.nextRefresh += c.spec.RefreshInterval
+		}
+	}
+
+	b := &c.banks[row%uint64(len(c.banks))]
+	bankRow := int64(row / uint64(len(c.banks)))
+
+	start := clock.Max(at, b.nextCmd)
+	var lat clock.Duration
+	switch {
+	case b.openRow == bankRow:
+		c.stats.RowHits++
+		lat = c.latHit
+		// Consecutive hits pipeline: the bank can take another column
+		// command one burst later; the shared bus serializes the data.
+		b.nextCmd = start + c.burst
+	case b.openRow < 0:
+		c.stats.RowClosed++
+		lat = c.latClosed
+		b.activatedAt = start
+		b.nextCmd = start + lat
+	default:
+		c.stats.RowConflicts++
+		// Precharge must respect tRAS from the previous activation.
+		start = clock.Max(start, b.activatedAt+c.ras)
+		lat = c.latConflict
+		b.activatedAt = start + c.rp
+		b.nextCmd = start + lat
+	}
+	if c.spec.Policy == ClosedPage {
+		// Auto-precharge: the next access to this bank starts from a
+		// closed row (its precharge overlaps the data transfer).
+		b.openRow = -1
+	} else {
+		b.openRow = bankRow
+	}
+
+	dataReady := start + lat
+	busStart := clock.Max(dataReady, c.busFreeAt)
+	done := busStart + c.burst
+	c.busFreeAt = done
+
+	if write {
+		c.stats.Writes++
+	} else {
+		c.stats.Reads++
+	}
+	c.stats.BusBusy += c.burst
+	if done > c.stats.LastFinish {
+		c.stats.LastFinish = done
+	}
+	return done
+}
+
+// Idle reports whether the channel has no pending bus occupancy at time t.
+func (c *Channel) Idle(t clock.Time) bool { return c.busFreeAt <= t }

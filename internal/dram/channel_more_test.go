@@ -1,0 +1,118 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+)
+
+func TestWritesTimedLikeReads(t *testing.T) {
+	// The model charges writes the same command/data path as reads.
+	r := NewChannel(HBM())
+	w := NewChannel(HBM())
+	rd := r.Access(0, false, 0)
+	wr := w.Access(0, true, 0)
+	if rd != wr {
+		t.Errorf("read %v vs write %v on identical state", rd, wr)
+	}
+}
+
+func TestLastFinishTracksLatest(t *testing.T) {
+	c := NewChannel(DDR4_1600())
+	d1 := c.Access(0, false, 0)
+	if c.Stats().LastFinish != d1 {
+		t.Error("LastFinish not updated")
+	}
+	d2 := c.Access(1, false, 0)
+	if c.Stats().LastFinish != clock.Max(d1, d2) {
+		t.Error("LastFinish not the max completion")
+	}
+}
+
+func TestBusBusyAccumulates(t *testing.T) {
+	c := NewChannel(HBM())
+	n := 10
+	for i := 0; i < n; i++ {
+		c.Access(uint64(i), false, 0)
+	}
+	want := clock.Duration(n) * HBM().BurstTime()
+	if got := c.Stats().BusBusy; got != want {
+		t.Errorf("BusBusy %v, want %v", got, want)
+	}
+}
+
+func TestRASConstraintDelaysConflict(t *testing.T) {
+	// A conflict immediately after activation must wait out tRAS before
+	// precharging; a conflict long after must not.
+	spec := HBM()
+	early := NewChannel(spec)
+	early.Access(0, false, 0) // activates row 0 at ~t=0
+	eDone := early.Access(uint64(spec.Banks), false, 1*clock.Nanosecond)
+
+	late := NewChannel(spec)
+	late.Access(0, false, 0)
+	base := clock.Time(clock.Microsecond)
+	lDone := late.Access(uint64(spec.Banks), false, base) - base
+
+	if eDone-1*clock.Nanosecond <= lDone {
+		t.Errorf("early conflict (%v) not delayed vs late conflict (%v)",
+			eDone-1*clock.Nanosecond, lDone)
+	}
+}
+
+func TestFutureSpecsServiceFaster(t *testing.T) {
+	run := func(s Spec) clock.Time {
+		c := NewChannel(s)
+		var done clock.Time
+		for i := 0; i < 200; i++ {
+			done = c.Access(uint64(i%64), i%3 == 0, clock.Time(i)*10*clock.Nanosecond)
+		}
+		return done
+	}
+	if run(HBMOverclocked()) >= run(HBM()) {
+		t.Error("overclocked HBM not faster under load")
+	}
+	if run(DDR4_2400()) >= run(DDR4_1600()) {
+		t.Error("DDR4-2400 not faster under load")
+	}
+}
+
+func TestClosedPagePolicy(t *testing.T) {
+	spec := HBM()
+	spec.Policy = ClosedPage
+	c := NewChannel(spec)
+	// Back-to-back same-row accesses: under closed-page every access pays
+	// the activation, and no row hits are recorded.
+	for i := 0; i < 10; i++ {
+		c.Access(0, false, clock.Time(i)*clock.Microsecond)
+	}
+	s := c.Stats()
+	if s.RowHits != 0 {
+		t.Errorf("closed-page recorded %d row hits", s.RowHits)
+	}
+	if s.RowClosed != 10 {
+		t.Errorf("closed-page rowClosed %d, want 10", s.RowClosed)
+	}
+	// And never a conflict: rows are always precharged.
+	if s.RowConflicts != 0 {
+		t.Errorf("closed-page recorded %d conflicts", s.RowConflicts)
+	}
+}
+
+func TestOpenBeatsClosedOnLocality(t *testing.T) {
+	run := func(p PagePolicy) clock.Time {
+		spec := HBM()
+		spec.Policy = p
+		c := NewChannel(spec)
+		var done clock.Time
+		at := clock.Time(0)
+		for i := 0; i < 100; i++ {
+			at += 30 * clock.Nanosecond
+			done = c.Access(0, false, at) // perfect row locality
+		}
+		return done
+	}
+	if run(OpenPage) >= run(ClosedPage) {
+		t.Error("open-page not faster than closed-page under row locality")
+	}
+}

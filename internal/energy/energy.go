@@ -1,0 +1,83 @@
+// Package energy models data-movement energy for the memory system, in
+// support of the paper's §5.3 claim: because MemPod migrates only between
+// sibling controllers inside a pod, it never moves data across the global
+// interconnect, bounding migration energy in a way centralized and
+// segment-based designs (which swap across arbitrary channel pairs) do
+// not.
+//
+// The model is a first-order per-event one: each 64-byte transfer costs
+// the access energy of its DRAM technology, each row activation costs its
+// activation energy, and each line that crosses the global switch pays an
+// interconnect traversal. Constants are representative published values
+// (HBM ≈ 4 pJ/bit, DDR4 ≈ 15 pJ/bit, on-chip interconnect ≈ 2 pJ/bit)
+// rounded to keep the arithmetic transparent; the comparisons the paper
+// makes are ratios, which are insensitive to the absolute calibration.
+package energy
+
+// Per-event energies in picojoules.
+const (
+	// HBMAccessPJ is the energy of one 64 B transfer to/from stacked DRAM
+	// (≈ 4 pJ/bit x 512 bits).
+	HBMAccessPJ = 2048
+	// DDRAccessPJ is the energy of one 64 B transfer to/from off-chip
+	// DDR4 (≈ 15 pJ/bit x 512 bits).
+	DDRAccessPJ = 7680
+	// HBMActivatePJ and DDRActivatePJ are per-row-activation energies.
+	HBMActivatePJ = 900
+	DDRActivatePJ = 2100
+	// SwitchPJ is the energy of moving one 64 B line across the global
+	// on-chip switch between the LLC and the memory controllers
+	// (≈ 2 pJ/bit). Pod-local migration traffic never pays it.
+	SwitchPJ = 1024
+)
+
+// Breakdown itemizes the energy of one simulation run in picojoules.
+type Breakdown struct {
+	FastAccess   float64 // HBM line transfers (demand + migration)
+	SlowAccess   float64 // DDR line transfers (demand + migration)
+	Activations  float64 // row activations, both levels
+	DemandSwitch float64 // demand lines crossing the global switch
+	MigSwitch    float64 // migration lines crossing the global switch
+}
+
+// Total returns the sum of all components in picojoules.
+func (b Breakdown) Total() float64 {
+	return b.FastAccess + b.SlowAccess + b.Activations + b.DemandSwitch + b.MigSwitch
+}
+
+// TotalMJ returns the total in millijoules for reporting.
+func (b Breakdown) TotalMJ() float64 { return b.Total() / 1e9 }
+
+// MigrationSwitchMJ returns the migration interconnect component in
+// millijoules — the quantity MemPod's clustering eliminates.
+func (b Breakdown) MigrationSwitchMJ() float64 { return b.MigSwitch / 1e9 }
+
+// Compute assembles a breakdown from event counts.
+//
+//   - fastAccesses/slowAccesses: 64 B transfers per level, including
+//     migration traffic;
+//   - fastActivations/slowActivations: row activations per level;
+//   - demandLines: demand requests (every one crosses the switch between
+//     the LLC and the controllers);
+//   - globalMigLines: migration line transfers that crossed the switch
+//     (each moved line crosses once on its way to the buffer and once
+//     back, already folded into the caller's count);
+type Counts struct {
+	FastAccesses    uint64
+	SlowAccesses    uint64
+	FastActivations uint64
+	SlowActivations uint64
+	DemandLines     uint64
+	GlobalMigLines  uint64
+}
+
+// Compute evaluates the model over the counts.
+func Compute(c Counts) Breakdown {
+	return Breakdown{
+		FastAccess:   float64(c.FastAccesses) * HBMAccessPJ,
+		SlowAccess:   float64(c.SlowAccesses) * DDRAccessPJ,
+		Activations:  float64(c.FastActivations)*HBMActivatePJ + float64(c.SlowActivations)*DDRActivatePJ,
+		DemandSwitch: float64(c.DemandLines) * SwitchPJ,
+		MigSwitch:    float64(c.GlobalMigLines) * SwitchPJ,
+	}
+}

@@ -1,0 +1,69 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestComputeComponents(t *testing.T) {
+	b := Compute(Counts{
+		FastAccesses:    10,
+		SlowAccesses:    5,
+		FastActivations: 2,
+		SlowActivations: 3,
+		DemandLines:     7,
+		GlobalMigLines:  4,
+	})
+	if b.FastAccess != 10*HBMAccessPJ {
+		t.Errorf("fast %v", b.FastAccess)
+	}
+	if b.SlowAccess != 5*DDRAccessPJ {
+		t.Errorf("slow %v", b.SlowAccess)
+	}
+	if b.Activations != 2*HBMActivatePJ+3*DDRActivatePJ {
+		t.Errorf("activations %v", b.Activations)
+	}
+	if b.DemandSwitch != 7*SwitchPJ || b.MigSwitch != 4*SwitchPJ {
+		t.Errorf("switch %v/%v", b.DemandSwitch, b.MigSwitch)
+	}
+	sum := b.FastAccess + b.SlowAccess + b.Activations + b.DemandSwitch + b.MigSwitch
+	if b.Total() != sum {
+		t.Errorf("total %v != %v", b.Total(), sum)
+	}
+	if math.Abs(b.TotalMJ()-sum/1e9) > 1e-15 {
+		t.Errorf("mJ conversion wrong")
+	}
+}
+
+func TestZeroCounts(t *testing.T) {
+	if Compute(Counts{}).Total() != 0 {
+		t.Error("zero counts not zero energy")
+	}
+}
+
+func TestSlowCostsMoreThanFast(t *testing.T) {
+	// Off-chip transfers must dominate stacked ones per event — the
+	// premise of the two-level organization.
+	if DDRAccessPJ <= HBMAccessPJ {
+		t.Error("DDR access not more expensive than HBM")
+	}
+	if DDRActivatePJ <= HBMActivatePJ {
+		t.Error("DDR activation not more expensive than HBM")
+	}
+}
+
+// Energy is monotone in every count.
+func TestMonotonicity(t *testing.T) {
+	prop := func(base Counts, extra uint8) bool {
+		bump := uint64(extra)
+		bigger := base
+		bigger.FastAccesses += bump
+		bigger.SlowAccesses += bump
+		bigger.GlobalMigLines += bump
+		return Compute(bigger).Total() >= Compute(base).Total()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,201 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/hma"
+	"repro/internal/mech"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/thm"
+)
+
+// fig8Order is the column order of the Figure 8 comparison.
+var fig8Order = []string{"MemPod", "HMA", "THM", "CAMEO", "HBM-only"}
+
+// Fig8 regenerates Figure 8: per-workload AMMAT of every mechanism
+// normalized to the no-migration two-level memory (TLM), plus HG/MIX/ALL
+// averages and the migration volumes the paper discusses alongside it.
+func (c Config) Fig8() (*report.Table, error) {
+	res, err := c.matrix(c.baselineBuilders(dram.HBM(), dram.DDR4_1600()))
+	if err != nil {
+		return nil, err
+	}
+	return c.renderComparison("fig8",
+		"AMMAT normalized to no-migration TLM (1GB HBM + 8GB DDR4-1600)",
+		res, "TLM"), nil
+}
+
+// Fig10 regenerates Figure 10, the future-technology scalability study:
+// 4 GHz HBM and DDR4-2400, results normalized to a DDR4-2400-only memory.
+// The paper reduces HMA's sort penalty by 40% for the faster future
+// processor; the scaled config inherits that reduction.
+func (c Config) Fig10() (*report.Table, error) {
+	future := c
+	future.HMASortStall = c.HMASortStall * 6 / 10
+	fast, slow := dram.HBMOverclocked(), dram.DDR4_2400()
+
+	builders := future.baselineBuilders(fast, slow)
+	// Rename the HBM-only configuration as the paper does ("HBMoc") and
+	// add the DDR-only normalization baseline.
+	for i := range builders {
+		if builders[i].name == "HBM-only" {
+			builders[i].name = "HBMoc"
+		}
+	}
+	builders = append(builders, builder{
+		name: "DDR-only", layout: ddrOnlyLayout(), fast: fast, slow: slow,
+		make: func(b *mech.Backend) mech.Mechanism { return mech.NewStatic("DDR-only", b) },
+	})
+	res, err := future.matrix(builders)
+	if err != nil {
+		return nil, err
+	}
+	t := report.New("fig10", "Future memories (4GHz HBM + DDR4-2400): AMMAT normalized to DDR4-2400-only",
+		"workload", "TLM", "MemPod", "HMA", "THM", "CAMEO", "HBMoc")
+	order := []string{"TLM", "MemPod", "HMA", "THM", "CAMEO", "HBMoc"}
+	addRow := func(name string, get func(mech string) float64) {
+		row := []string{name}
+		for _, m := range order {
+			row = append(row, fmt.Sprintf("%.3f", get(m)))
+		}
+		t.Add(row...)
+	}
+	for _, w := range c.Workloads {
+		base := res["DDR-only"][w.Name]
+		addRow(w.Name, func(m string) float64 { return res[m][w.Name].Normalized(base) })
+	}
+	for _, avg := range []string{"AVG HG", "AVG MIX", "AVG ALL"} {
+		addRow(avg, func(m string) float64 {
+			hg, mix, all := c.averages(res[m], func(r stats.Result) float64 {
+				return r.Normalized(res["DDR-only"][r.Workload])
+			})
+			switch avg {
+			case "AVG HG":
+				return hg
+			case "AVG MIX":
+				return mix
+			default:
+				return all
+			}
+		})
+	}
+	return t, nil
+}
+
+// renderComparison builds a normalized-AMMAT table against the named
+// baseline configuration.
+func (c Config) renderComparison(id, title string, res map[string]map[string]stats.Result, baseName string) *report.Table {
+	cols := append([]string{"workload", baseName + " (ns)"}, fig8Order...)
+	t := report.New(id, title, cols...)
+	for _, w := range c.Workloads {
+		base := res[baseName][w.Name]
+		row := []string{w.Name, fmt.Sprintf("%.2f", base.AMMAT())}
+		for _, m := range fig8Order {
+			row = append(row, fmt.Sprintf("%.3f", res[m][w.Name].Normalized(base)))
+		}
+		t.Add(row...)
+	}
+	for _, avg := range []string{"AVG HG", "AVG MIX", "AVG ALL"} {
+		row := []string{avg, ""}
+		for _, m := range fig8Order {
+			hg, mix, all := c.averages(res[m], func(r stats.Result) float64 {
+				return r.Normalized(res[baseName][r.Workload])
+			})
+			v := all
+			switch avg {
+			case "AVG HG":
+				v = hg
+			case "AVG MIX":
+				v = mix
+			}
+			row = append(row, fmt.Sprintf("%.3f", v))
+		}
+		t.Add(row...)
+	}
+	// Migration volume summary (the paper quotes GB moved per experiment).
+	volRow := []string{"moved MB (avg)", ""}
+	for _, m := range fig8Order {
+		_, _, all := c.averages(res[m], func(r stats.Result) float64 {
+			return float64(r.Mig.BytesMoved) / (1 << 20)
+		})
+		volRow = append(volRow, fmt.Sprintf("%.1f", all))
+	}
+	t.Add(volRow...)
+	return t
+}
+
+// Fig9Sizes are the bookkeeping-cache capacities of Figure 9.
+var Fig9Sizes = []int{16 << 10, 32 << 10, 64 << 10}
+
+// Fig9 regenerates Figure 9: AMMAT of MemPod, THM and HMA with 16/32/64 KB
+// bookkeeping caches, normalized to the no-migration TLM, plus each
+// mechanism's cache-disabled reference.
+func (c Config) Fig9() (*report.Table, error) {
+	builders := []builder{{
+		name: "TLM", layout: stdLayout(), fast: dram.HBM(), slow: dram.DDR4_1600(),
+		make: func(b *mech.Backend) mech.Mechanism { return mech.NewStatic("TLM", b) },
+	}}
+	mechs := []struct {
+		name string
+		mk   func(cacheBytes int) func(b *mech.Backend) mech.Mechanism
+	}{
+		{"MemPod", func(cb int) func(b *mech.Backend) mech.Mechanism {
+			return func(b *mech.Backend) mech.Mechanism {
+				cfg := core.DefaultConfig()
+				cfg.CacheBytes = cb
+				return core.MustNew(cfg, b)
+			}
+		}},
+		{"THM", func(cb int) func(b *mech.Backend) mech.Mechanism {
+			return func(b *mech.Backend) mech.Mechanism {
+				cfg := thm.DefaultConfig()
+				cfg.CacheBytes = cb
+				return thm.MustNew(cfg, b)
+			}
+		}},
+		{"HMA", func(cb int) func(b *mech.Backend) mech.Mechanism {
+			return func(b *mech.Backend) mech.Mechanism {
+				cfg := c.hmaConfig()
+				cfg.CacheBytes = cb
+				return hma.MustNew(cfg, b)
+			}
+		}},
+	}
+	sizes := append([]int{0}, Fig9Sizes...)
+	for _, m := range mechs {
+		for _, size := range sizes {
+			label := fmt.Sprintf("%s/no-cache", m.name)
+			if size > 0 {
+				label = fmt.Sprintf("%s/%dKB", m.name, size>>10)
+			}
+			builders = append(builders, builder{
+				name: label, layout: stdLayout(), fast: dram.HBM(), slow: dram.DDR4_1600(),
+				make: m.mk(size),
+			})
+		}
+	}
+	res, err := c.matrix(builders)
+	if err != nil {
+		return nil, err
+	}
+	t := report.New("fig9", "Bookkeeping-cache sensitivity: average AMMAT normalized to TLM",
+		"mechanism", "no cache", "16KB", "32KB", "64KB")
+	for _, m := range mechs {
+		row := []string{m.name}
+		for _, size := range sizes {
+			label := fmt.Sprintf("%s/no-cache", m.name)
+			if size > 0 {
+				label = fmt.Sprintf("%s/%dKB", m.name, size>>10)
+			}
+			_, _, all := c.averages(res[label], func(r stats.Result) float64 {
+				return r.Normalized(res["TLM"][r.Workload])
+			})
+			row = append(row, fmt.Sprintf("%.3f", all))
+		}
+		t.Add(row...)
+	}
+	return t, nil
+}

@@ -1,0 +1,131 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/mech"
+	"repro/internal/report"
+)
+
+// Fig6Epochs and Fig6Counters define the §6.3.1 design-space sweep.
+var (
+	Fig6Epochs   = []clock.Duration{25 * clock.Microsecond, 50 * clock.Microsecond, 100 * clock.Microsecond, 250 * clock.Microsecond, 500 * clock.Microsecond}
+	Fig6Counters = []int{16, 32, 64, 128, 256, 512}
+)
+
+// runMemPod runs the config's workloads under one MemPod configuration
+// and returns the average AMMAT (ns) and average migrations per pod per
+// interval.
+func (c Config) runMemPod(mpCfg core.Config) (ammat, migsPerPodInterval float64, err error) {
+	b := builder{
+		name: "MemPod", layout: stdLayout(), fast: dram.HBM(), slow: dram.DDR4_1600(),
+		make: func(bk *mech.Backend) mech.Mechanism { return core.MustNew(mpCfg, bk) },
+	}
+	var ammatSum, migSum float64
+	for _, w := range c.Workloads {
+		res, err := c.run(w, b)
+		if err != nil {
+			return 0, 0, err
+		}
+		ammatSum += res.AMMAT()
+		if res.Mig.Intervals > 0 {
+			migSum += float64(res.Mig.PageMigrations) /
+				float64(res.Mig.Intervals) / float64(stdLayout().NumPods)
+		}
+	}
+	n := float64(len(c.Workloads))
+	return ammatSum / n, migSum / n, nil
+}
+
+// Fig6 regenerates Figure 6: average AMMAT over the epoch-length ×
+// counter-count design space (16-bit counters, caches disabled, as §6.3.1
+// specifies). Rows are epochs, columns are MEA counter counts.
+func (c Config) Fig6() (*report.Table, error) {
+	cols := []string{"epoch"}
+	for _, k := range Fig6Counters {
+		cols = append(cols, fmt.Sprintf("%d ctrs", k))
+	}
+	t := report.New("fig6", "Average AMMAT (ns) vs epoch length and MEA counters", cols...)
+	for _, epoch := range Fig6Epochs {
+		row := []string{epoch.String()}
+		for _, k := range Fig6Counters {
+			mpCfg := core.Config{Interval: epoch, Counters: k, CounterBits: 16}
+			ammat, _, err := c.runMemPod(mpCfg)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.2f", ammat))
+		}
+		t.Add(row...)
+	}
+	return t, nil
+}
+
+// Fig7Widths are the counter widths swept in Figure 7.
+var Fig7Widths = []int{1, 2, 4, 8, 16}
+
+// Fig7 regenerates Figure 7: AMMAT (normalized to the 2-bit configuration)
+// and migrations per pod per interval versus counter width, for both the
+// 50 µs/64-counter (7a) and 100 µs/128-counter (7b) design points.
+func (c Config) Fig7() (*report.Table, error) {
+	t := report.New("fig7", "Counter width vs normalized AMMAT and migrations/pod/interval",
+		"config", "bits", "AMMAT (ns)", "normalized to 2-bit", "migs/pod/interval")
+	variants := []struct {
+		label    string
+		interval clock.Duration
+		counters int
+	}{
+		{"7a: 50us/64", 50 * clock.Microsecond, 64},
+		{"7b: 100us/128", 100 * clock.Microsecond, 128},
+	}
+	for _, v := range variants {
+		type point struct {
+			ammat, migs float64
+		}
+		pts := make(map[int]point, len(Fig7Widths))
+		for _, bits := range Fig7Widths {
+			mpCfg := core.Config{Interval: v.interval, Counters: v.counters, CounterBits: bits}
+			ammat, migs, err := c.runMemPod(mpCfg)
+			if err != nil {
+				return nil, err
+			}
+			pts[bits] = point{ammat, migs}
+		}
+		base := pts[2].ammat
+		for _, bits := range Fig7Widths {
+			p := pts[bits]
+			norm := 0.0
+			if base > 0 {
+				norm = p.ammat / base
+			}
+			t.Addf(v.label, bits, p.ammat, norm, p.migs)
+		}
+	}
+	return t, nil
+}
+
+// BestConfigCheck runs a reduced assertion of the §6.3.1 conclusion: the
+// paper's chosen design point (50 µs, 64 counters) must be at or near the
+// bottom of the sweep. It returns the chosen point's AMMAT and the sweep
+// minimum, for tests.
+func (c Config) BestConfigCheck() (chosen, best float64, err error) {
+	best = -1
+	for _, epoch := range Fig6Epochs {
+		for _, k := range Fig6Counters {
+			ammat, _, err := c.runMemPod(core.Config{Interval: epoch, Counters: k, CounterBits: 16})
+			if err != nil {
+				return 0, 0, err
+			}
+			if best < 0 || ammat < best {
+				best = ammat
+			}
+			if epoch == 50*clock.Microsecond && k == 64 {
+				chosen = ammat
+			}
+		}
+	}
+	return chosen, best, nil
+}

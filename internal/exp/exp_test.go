@@ -1,0 +1,309 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+)
+
+// tinyConfig keeps experiment tests fast: three contrasting workloads and
+// short traces.
+func tinyConfig() Config {
+	c := QuickConfig()
+	c.Requests = 60_000
+	c.Workloads = selectWorkloads("cactus", "bwaves", "mix5")
+	return c
+}
+
+func TestSelectWorkloads(t *testing.T) {
+	ws := selectWorkloads("cactus", "mix3", "lbm")
+	if len(ws) != 3 || ws[0].Name != "cactus" || ws[1].Name != "mix3" || ws[2].Name != "lbm" {
+		t.Fatalf("selectWorkloads wrong: %+v", ws)
+	}
+	if ws[1].Homogeneous {
+		t.Fatal("mix3 flagged homogeneous")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown workload accepted")
+		}
+	}()
+	selectWorkloads("nonesuch")
+}
+
+func TestOracleStudyShapes(t *testing.T) {
+	c := tinyConfig()
+	c.Requests = 120_000
+	study, err := c.OracleStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(study) != 3 {
+		t.Fatalf("%d study rows", len(study))
+	}
+	byName := map[string]OracleResult{}
+	for _, r := range study {
+		byName[r.Workload] = r
+		if r.Intervals < 10 {
+			t.Errorf("%s: only %d intervals", r.Workload, r.Intervals)
+		}
+		for tier := 0; tier < tiers; tier++ {
+			if r.CountAcc[tier] < 0 || r.CountAcc[tier] > 1 {
+				t.Errorf("%s: counting accuracy out of range: %v", r.Workload, r.CountAcc)
+			}
+			if r.MEAHits[tier] < 0 || r.MEAHits[tier] > 10 ||
+				r.FCHits[tier] < 0 || r.FCHits[tier] > 10 {
+				t.Errorf("%s: hits out of range", r.Workload)
+			}
+		}
+	}
+	// The paper's §3 headline shapes:
+	// streaming (bwaves) defeats FC's future prediction almost entirely...
+	bw := byName["bwaves"]
+	if bw.FCHits[0] > 2 {
+		t.Errorf("bwaves: FC tier-1 hits %.2f, expected near zero for streaming", bw.FCHits[0])
+	}
+	// ...while MEA's recency bias still catches some boundary pages.
+	if bw.MEAHits[0]+bw.MEAHits[1]+bw.MEAHits[2] <= bw.FCHits[0]+bw.FCHits[1]+bw.FCHits[2] {
+		t.Errorf("bwaves: MEA hits %v not above FC %v", bw.MEAHits, bw.FCHits)
+	}
+	// MEA's counting accuracy is imperfect (well below 1.0 on average).
+	ca := byName["cactus"]
+	if ca.CountAcc[0] > 0.9 {
+		t.Errorf("cactus: MEA counting accuracy %.2f suspiciously perfect", ca.CountAcc[0])
+	}
+}
+
+func TestFig123Render(t *testing.T) {
+	c := tinyConfig()
+	c.Workloads = selectWorkloads("cactus", "bwaves", "mix5", "libquantum")
+	for _, f := range []func() (interface{ String() string }, error){
+		func() (interface{ String() string }, error) { return c.Fig1() },
+		func() (interface{ String() string }, error) { return c.Fig2() },
+		func() (interface{ String() string }, error) { return c.Fig3() },
+	} {
+		tab, err := f()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := tab.String()
+		if !strings.Contains(s, "ranks 1-10") {
+			t.Errorf("table missing tier columns:\n%s", s)
+		}
+	}
+}
+
+func TestFig1IncludesAverages(t *testing.T) {
+	c := tinyConfig()
+	tab, err := c.Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.String()
+	for _, want := range []string{"AVG HG", "AVG MIX", "AVG ALL", "cactus"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("fig1 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFig8QuickShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-mechanism matrix")
+	}
+	c := tinyConfig()
+	c.Requests = 120_000
+	tab, err := c.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.String()
+	for _, want := range []string{"MemPod", "HMA", "THM", "CAMEO", "HBM-only", "AVG ALL", "moved MB"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("fig8 missing %q", want)
+		}
+	}
+	if len(tab.Rows) != 3+3+1 { // workloads + averages + volume
+		t.Errorf("fig8 rows = %d", len(tab.Rows))
+	}
+}
+
+func TestFig7NormalizedToTwoBit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	c := tinyConfig()
+	c.Requests = 50_000
+	c.Workloads = selectWorkloads("cactus")
+	tab, err := c.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 2-bit rows must be normalized to exactly 1.000.
+	found := 0
+	for _, row := range tab.Rows {
+		if row[1] == "2" {
+			if row[3] != "1.000" {
+				t.Errorf("2-bit normalization %s != 1.000", row[3])
+			}
+			found++
+		}
+	}
+	if found != 2 {
+		t.Errorf("expected 2 two-bit rows (7a, 7b), found %d", found)
+	}
+}
+
+func TestFig6Dimensions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	c := tinyConfig()
+	c.Requests = 40_000
+	c.Workloads = selectWorkloads("mix5")
+	tab, err := c.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(Fig6Epochs) {
+		t.Errorf("fig6 rows %d, want %d", len(tab.Rows), len(Fig6Epochs))
+	}
+	if len(tab.Columns) != len(Fig6Counters)+1 {
+		t.Errorf("fig6 cols %d, want %d", len(tab.Columns), len(Fig6Counters)+1)
+	}
+}
+
+func TestFig9Dimensions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cache matrix")
+	}
+	c := tinyConfig()
+	c.Requests = 60_000
+	c.Workloads = selectWorkloads("mix5")
+	tab, err := c.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Errorf("fig9 rows %d, want 3 mechanisms", len(tab.Rows))
+	}
+	if len(tab.Columns) != 5 {
+		t.Errorf("fig9 cols %d, want 5", len(tab.Columns))
+	}
+}
+
+func TestFig10RunsFutureSpecs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix")
+	}
+	c := tinyConfig()
+	c.Requests = 60_000
+	c.Workloads = selectWorkloads("cactus")
+	tab, err := c.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tab.String(), "HBMoc") {
+		t.Error("fig10 missing HBMoc column")
+	}
+}
+
+func TestStaticTables(t *testing.T) {
+	t1, t2, t3 := Table1(), Table2(), Table3()
+	if !strings.Contains(t1.String(), "MEA entries/pod") {
+		t.Error("table1 missing MEA tracking cost")
+	}
+	// The paper's tracking-cost headline: MemPod's total MEA storage is
+	// 736 B for 64 entries x 23 bits x 4 pods.
+	if !strings.Contains(t1.String(), "736B") {
+		t.Errorf("table1 MEA cost should be 736B:\n%s", t1.String())
+	}
+	if !strings.Contains(t2.String(), "7-7-7-17") || !strings.Contains(t2.String(), "11-11-11-28") {
+		t.Error("table2 missing core timings")
+	}
+	if len(t3.Rows) != 12 {
+		t.Errorf("table3 rows %d, want 12 mixes", len(t3.Rows))
+	}
+}
+
+func TestRunMemPodMigrationCounting(t *testing.T) {
+	c := tinyConfig()
+	c.Requests = 60_000
+	c.Workloads = selectWorkloads("cactus")
+	_, migs, err := c.runMemPod(core.Config{Interval: 50 * clock.Microsecond, Counters: 64, CounterBits: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if migs <= 0 {
+		t.Error("no migrations per pod per interval recorded")
+	}
+}
+
+func TestPodSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation matrix")
+	}
+	c := tinyConfig()
+	c.Requests = 80_000
+	c.Workloads = selectWorkloads("cactus")
+	tab, err := c.PodSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(PodCounts) {
+		t.Fatalf("pod sweep rows %d", len(tab.Rows))
+	}
+	for _, pods := range PodCounts {
+		if err := layoutForPods(pods).Validate(); err != nil {
+			t.Errorf("pods=%d: %v", pods, err)
+		}
+	}
+}
+
+func TestTrackerSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation matrix")
+	}
+	c := tinyConfig()
+	c.Requests = 80_000
+	c.Workloads = selectWorkloads("cactus")
+	tab, err := c.TrackerSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("tracker sweep rows %d", len(tab.Rows))
+	}
+}
+
+func TestEnergyTableShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix")
+	}
+	c := tinyConfig()
+	c.Requests = 60_000
+	c.Workloads = selectWorkloads("cactus")
+	tab, err := c.EnergyTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §5.3: MemPod must pay zero migration-interconnect energy; the
+	// global-swap mechanisms must pay some.
+	var memPodSwitch, thmSwitch string
+	for _, row := range tab.Rows {
+		switch row[0] {
+		case "MemPod":
+			memPodSwitch = row[2]
+		case "THM":
+			thmSwitch = row[2]
+		}
+	}
+	if memPodSwitch != "0.000" {
+		t.Errorf("MemPod migration switch energy %s, want 0.000", memPodSwitch)
+	}
+	if thmSwitch == "0.000" || thmSwitch == "" {
+		t.Errorf("THM migration switch energy %s, want > 0", thmSwitch)
+	}
+}

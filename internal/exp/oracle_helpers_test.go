@@ -1,0 +1,37 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/mea"
+)
+
+func TestTierSlice(t *testing.T) {
+	var ranked []mea.Entry
+	for i := 0; i < 25; i++ {
+		ranked = append(ranked, mea.Entry{Page: uint64(i), Count: uint64(100 - i)})
+	}
+	if got := tierSlice(ranked, 0); len(got) != 10 || got[0].Page != 0 || got[9].Page != 9 {
+		t.Errorf("tier 0 wrong: %+v", got)
+	}
+	if got := tierSlice(ranked, 1); len(got) != 10 || got[0].Page != 10 {
+		t.Errorf("tier 1 wrong")
+	}
+	if got := tierSlice(ranked, 2); len(got) != 5 {
+		t.Errorf("partial tier 2 length %d, want 5", len(got))
+	}
+	if got := tierSlice(ranked, 3); got != nil {
+		t.Errorf("tier beyond data should be nil")
+	}
+}
+
+func TestTierSet(t *testing.T) {
+	ranked := []mea.Entry{{Page: 3}, {Page: 7}, {Page: 9}}
+	set := tierSet(ranked, 0)
+	if len(set) != 3 || !set[3] || !set[7] || !set[9] {
+		t.Errorf("tierSet wrong: %v", set)
+	}
+	if len(tierSet(ranked, 1)) != 0 {
+		t.Error("empty tier should give empty set")
+	}
+}

@@ -1,0 +1,413 @@
+// Package hma models the Heterogeneous Memory Architectures baseline
+// (Meswani et al., HPCA 2015) as the MemPod paper evaluates it (§4, §6).
+//
+// HMA keeps one full activity counter per page. At coarse intervals the OS
+// sorts the counters, stalls execution for the duration of the sort (the
+// paper generously models 7 ms instead of the measured ~1.2 s), and
+// migrates hot pages into fast memory with full any-to-any flexibility.
+// Because the OS rewrites page tables, no remap table is consulted on the
+// access path; the counter array, however, is large (16 bits per page,
+// 9 MB for the paper's configuration) and is the state cached in the
+// Figure 9 experiment.
+package hma
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/addr"
+	"repro/internal/clock"
+	"repro/internal/mech"
+	"repro/internal/trace"
+)
+
+// Config holds HMA's parameters.
+type Config struct {
+	// Interval is the migration epoch (paper: 100 ms; see EXPERIMENTS.md
+	// for the scaling applied when traces are shorter than one epoch).
+	Interval clock.Duration
+	// SortStall is the time the OS spends sorting the counters at each
+	// boundary (paper: 7 ms baseline, 4.2 ms in the future-scaling study).
+	// Migrations cannot begin until the sort finishes, so decisions land
+	// stale; the stalled CPUs themselves issue no memory requests during
+	// the sort, so the penalty does not appear directly in AMMAT.
+	SortStall clock.Duration
+	// CounterBits bounds each activity counter (paper: 16).
+	CounterBits int
+	// HotThreshold is the minimum interval count for a page to be a
+	// migration candidate. Thresholding is what makes HMA's migration
+	// volume sensitive to how many requests were serviced per interval —
+	// the Figure 9 effect.
+	HotThreshold uint64
+	// MaxMigrations caps pages moved into fast memory per interval.
+	MaxMigrations int
+	// CacheBytes/CacheWays model the on-chip counter cache (0 = counters
+	// accessible for free, as in the cache-disabled experiments).
+	CacheBytes int
+	CacheWays  int
+}
+
+// DefaultConfig returns the paper's baseline HMA parameters.
+func DefaultConfig() Config {
+	return Config{
+		Interval:      100 * clock.Millisecond,
+		SortStall:     7 * clock.Millisecond,
+		CounterBits:   16,
+		HotThreshold:  4,
+		MaxMigrations: 8192,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Interval <= 0:
+		return fmt.Errorf("hma: interval %d", c.Interval)
+	case c.SortStall < 0 || c.SortStall >= c.Interval:
+		return fmt.Errorf("hma: sort stall %d outside [0, interval)", c.SortStall)
+	case c.CounterBits <= 0 || c.CounterBits > 64:
+		return fmt.Errorf("hma: counter width %d", c.CounterBits)
+	case c.MaxMigrations <= 0:
+		return fmt.Errorf("hma: max migrations %d", c.MaxMigrations)
+	case c.CacheBytes < 0:
+		return fmt.Errorf("hma: cache %d bytes", c.CacheBytes)
+	}
+	return nil
+}
+
+// counterEntryBytes is the modelled counter size (16-bit counters: 32 per
+// 64 B backing block).
+const counterEntryBytes = 2
+
+const countersPerBlock = mech.BlockBytes / counterEntryBytes
+
+// HMA implements mech.Mechanism.
+type HMA struct {
+	cfg     Config
+	backend *mech.Backend
+	layout  addr.Layout
+
+	counters   []uint16 // per flat page, this interval
+	counterMax uint16
+	remap      []uint32              // flat page -> physical slot (flat page index)
+	inverted   []uint32              // fast slot -> resident flat page
+	locks      map[uint32]clock.Time // page -> in-flight swap completion
+	cache      *mech.Cache
+
+	touch       mech.TouchFilter
+	next        clock.Time // next boundary
+	queue       []queuedSwap
+	qpos        int
+	lastSwapEnd clock.Time
+	stats       mech.MigStats
+
+	// In-flight swap state across its chunks.
+	swapSkip bool
+	swapOld  uint32 // slow slot being vacated
+	swapRes  uint32 // page being evicted from the fast slot
+}
+
+// swapChunks paces each page copy as 8 chunks of 4 line-pairs so the OS
+// copy loop interleaves with demand traffic (see mech.SwapGlobalChunk).
+const swapChunks = 8
+
+const linesPerChunk = addr.LinesPerPage / swapChunks
+
+// queuedSwap is one scheduled unit of migration work: chunk `chunk` of the
+// swap promoting `page` into fast slot `victim`, starting no earlier than
+// `start` (after the end of the OS sort). Chunk 0 updates the tables.
+type queuedSwap struct {
+	start  clock.Time
+	page   uint32
+	victim uint32
+	chunk  uint8
+}
+
+// New builds an HMA over the backend's two-level memory.
+func New(cfg Config, b *mech.Backend) (*HMA, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	l := b.Layout
+	if !l.TwoLevel() {
+		return nil, fmt.Errorf("hma: layout is not two-level")
+	}
+	if cfg.CacheWays <= 0 {
+		cfg.CacheWays = 8
+	}
+	total := uint64(l.TotalPages())
+	h := &HMA{
+		cfg:      cfg,
+		backend:  b,
+		layout:   l,
+		counters: make([]uint16, total),
+		remap:    make([]uint32, total),
+		inverted: make([]uint32, l.FastPages()),
+		locks:    make(map[uint32]clock.Time),
+		next:     cfg.Interval,
+	}
+	if cfg.CounterBits >= 16 {
+		h.counterMax = ^uint16(0)
+	} else {
+		h.counterMax = uint16(1)<<cfg.CounterBits - 1
+	}
+	for i := range h.remap {
+		h.remap[i] = uint32(i)
+	}
+	for i := range h.inverted {
+		h.inverted[i] = uint32(i)
+	}
+	if cfg.CacheBytes > 0 {
+		h.cache = mech.NewCache(cfg.CacheBytes, cfg.CacheWays)
+	}
+	return h, nil
+}
+
+// MustNew is New for known-good configurations; it panics on error.
+func MustNew(cfg Config, b *mech.Backend) *HMA {
+	h, err := New(cfg, b)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Name implements mech.Mechanism.
+func (h *HMA) Name() string { return "HMA" }
+
+// Stats implements mech.Mechanism.
+func (h *HMA) Stats() mech.MigStats { return h.stats }
+
+// Access implements mech.Mechanism.
+func (h *HMA) Access(r *trace.Request, at clock.Time) clock.Time {
+	for at >= h.next {
+		h.runInterval(h.next)
+		h.next += h.cfg.Interval
+	}
+	h.drain(at)
+
+	start := at
+	page := uint32(addr.PageOf(addr.Addr(r.Addr)))
+	if h.touch.Touch(r.Core, uint64(page)) {
+		if c := h.counters[page]; c < h.counterMax {
+			h.counters[page] = c + 1
+		}
+	}
+	if h.cache != nil {
+		block := uint64(page) / countersPerBlock
+		if h.cache.Access(block) {
+			h.stats.CacheHits++
+		} else {
+			h.stats.CacheMisses++
+			start = h.backend.BookkeepingRead(int(uint64(page)%uint64(h.layout.NumPods)), block, start)
+		}
+	}
+	var lockEnd clock.Time
+	if end, locked := h.locks[page]; locked {
+		if end > start {
+			lockEnd = end
+			h.stats.LockStalls++
+		} else {
+			delete(h.locks, page)
+		}
+	}
+	slot := addr.Page(h.remap[page])
+	pod, f := h.layout.HomeFrame(slot)
+	li := int(uint64(addr.LineOf(addr.Addr(r.Addr))) % addr.LinesPerPage)
+	return clock.Max(h.backend.Line(pod, f, li, r.Write, start), lockEnd)
+}
+
+// pageCount pairs a page with its interval count for sorting.
+type pageCount struct {
+	page  uint32
+	count uint16
+}
+
+// runInterval models HMA's OS-driven epoch: flush any swaps left from the
+// previous epoch, pick hot slow-resident pages above the threshold, pair
+// them with the coldest fast-resident victims, and queue the swaps to
+// execute once the counter sort completes (boundary + SortStall).
+func (h *HMA) runInterval(boundary clock.Time) {
+	h.stats.Intervals++
+
+	// Retire the previous epoch's queue: finish partially copied swaps,
+	// drop the ones that never started (stale OS decisions).
+	flushing := h.qpos > 0 && h.queue[h.qpos-1].chunk != swapChunks-1
+	for h.qpos < len(h.queue) {
+		sw := h.queue[h.qpos]
+		if sw.chunk == 0 {
+			flushing = false
+		}
+		if !flushing && sw.chunk == 0 {
+			h.qpos += swapChunks
+			h.stats.DroppedMigrations++
+			continue
+		}
+		if sw.start < boundary {
+			sw.start = boundary
+		}
+		h.executeSwap(sw)
+		h.qpos++
+	}
+	for page, end := range h.locks {
+		if end <= boundary {
+			delete(h.locks, page)
+		}
+	}
+
+	// Gather candidates: hot pages currently in slow memory.
+	var hot []pageCount
+	fastPages := uint32(h.layout.FastPages())
+	for p, c := range h.counters {
+		if uint64(c) < h.cfg.HotThreshold {
+			continue
+		}
+		if h.remap[p] >= fastPages { // resident in slow memory
+			hot = append(hot, pageCount{uint32(p), c})
+		}
+	}
+	sort.Slice(hot, func(i, j int) bool {
+		if hot[i].count != hot[j].count {
+			return hot[i].count > hot[j].count
+		}
+		return hot[i].page < hot[j].page
+	})
+	if len(hot) > h.cfg.MaxMigrations {
+		hot = hot[:h.cfg.MaxMigrations]
+	}
+
+	h.queue = h.queue[:0]
+	h.qpos = 0
+	if len(hot) > 0 {
+		victims := h.coldestFastSlots(len(hot))
+		sortDone := boundary + h.cfg.SortStall
+		// Pace the OS copy loop over the remainder of the epoch so the
+		// copies interleave with demand traffic instead of monopolizing
+		// the channels in one burst.
+		spacing := (h.cfg.Interval - h.cfg.SortStall) / clock.Duration(len(hot)+1)
+		chunkSpacing := spacing / swapChunks
+		for i, hc := range hot {
+			if i >= len(victims) {
+				break
+			}
+			if uint64(h.counters[h.inverted[victims[i]]]) >= h.cfg.HotThreshold {
+				continue // victim is itself hot; skip
+			}
+			slot := sortDone + clock.Duration(i)*spacing
+			for ch := 0; ch < swapChunks; ch++ {
+				h.queue = append(h.queue, queuedSwap{
+					start:  slot + clock.Duration(ch)*chunkSpacing,
+					page:   hc.page,
+					victim: victims[i],
+					chunk:  uint8(ch),
+				})
+			}
+		}
+	}
+	if h.lastSwapEnd < boundary {
+		h.lastSwapEnd = boundary
+	}
+	clear(h.counters)
+}
+
+// drain executes queued swaps whose start time has arrived, keeping
+// channel traffic in time order.
+func (h *HMA) drain(now clock.Time) {
+	for h.qpos < len(h.queue) && h.queue[h.qpos].start <= now {
+		h.executeSwap(h.queue[h.qpos])
+		h.qpos++
+	}
+}
+
+// executeSwap performs one queued chunk of a page swap through the OS
+// datapath. Chunk 0 updates the page tables and locks both pages.
+func (h *HMA) executeSwap(sw queuedSwap) {
+	if sw.chunk == 0 {
+		h.swapSkip = true
+		cur := h.remap[sw.page]
+		if cur < uint32(h.layout.FastPages()) {
+			return // already promoted
+		}
+		h.swapSkip = false
+		h.swapOld = cur
+		h.swapRes = h.inverted[sw.victim]
+		h.remap[sw.page] = sw.victim
+		h.remap[h.swapRes] = cur
+		h.inverted[sw.victim] = sw.page
+		h.stats.PageMigrations++
+	}
+	if h.swapSkip {
+		return
+	}
+	// Chunks issue at their paced schedule (see core.executeSwap).
+	lo := int(sw.chunk) * linesPerChunk
+	end := h.backend.SwapGlobalChunk(addr.Page(h.swapOld), addr.Page(sw.victim),
+		lo, lo+linesPerChunk, sw.start)
+	h.stats.LineMigrations += 2 * linesPerChunk
+	h.stats.BytesMoved += 2 * linesPerChunk * addr.LineBytes
+	h.stats.GlobalMoveLines += 2 * linesPerChunk
+	if end > h.lastSwapEnd {
+		h.lastSwapEnd = end
+	}
+	if end > h.locks[sw.page] {
+		h.locks[sw.page] = end
+	}
+	if end > h.locks[h.swapRes] {
+		h.locks[h.swapRes] = end
+	}
+}
+
+// coldestFastSlots returns up to n fast slots ordered by ascending
+// resident count (the OS's victim choice under full counters).
+func (h *HMA) coldestFastSlots(n int) []uint32 {
+	type slotCount struct {
+		slot  uint32
+		count uint16
+	}
+	slots := make([]slotCount, len(h.inverted))
+	for v := range h.inverted {
+		slots[v] = slotCount{uint32(v), h.counters[h.inverted[v]]}
+	}
+	sort.Slice(slots, func(i, j int) bool {
+		if slots[i].count != slots[j].count {
+			return slots[i].count < slots[j].count
+		}
+		return slots[i].slot < slots[j].slot
+	})
+	if len(slots) > n {
+		slots = slots[:n]
+	}
+	out := make([]uint32, len(slots))
+	for i, s := range slots {
+		out[i] = s.slot
+	}
+	return out
+}
+
+// CheckInvariants verifies that the remap table is a permutation of the
+// flat page space and that the inverted table matches it. O(memory);
+// intended for tests.
+func (h *HMA) CheckInvariants() error {
+	seen := make([]bool, len(h.remap))
+	for page, slot := range h.remap {
+		if int(slot) >= len(h.remap) {
+			return fmt.Errorf("hma: page %d maps to out-of-range slot %d", page, slot)
+		}
+		if seen[slot] {
+			return fmt.Errorf("hma: slot %d mapped twice", slot)
+		}
+		seen[slot] = true
+	}
+	for slot, page := range h.inverted {
+		if h.remap[page] != uint32(slot) {
+			return fmt.Errorf("hma: inverted[%d]=%d but remap[%d]=%d",
+				slot, page, page, h.remap[page])
+		}
+	}
+	return nil
+}
+
+// FrameOfPage reports the current physical slot of a flat page, for tests.
+func (h *HMA) FrameOfPage(p addr.Page) addr.Page { return addr.Page(h.remap[uint32(p)]) }
+
+var _ mech.Mechanism = (*HMA)(nil)

@@ -1,0 +1,33 @@
+package mea_test
+
+import (
+	"fmt"
+
+	"repro/internal/mea"
+)
+
+// Algorithm 1 on a small stream: the majority element survives.
+func ExampleMEA() {
+	m := mea.NewMEA(2, 8)
+	for _, page := range []uint64{7, 7, 3, 7, 9, 7, 4, 7} {
+		m.Observe(page)
+	}
+	hot := m.Hot()
+	fmt.Println("top page:", hot[0].Page)
+	// Output:
+	// top page: 7
+}
+
+// Full Counters ranks every observed page exactly.
+func ExampleFullCounters() {
+	fc := mea.NewFullCounters()
+	for _, page := range []uint64{1, 2, 2, 3, 3, 3} {
+		fc.Observe(page)
+	}
+	for _, e := range fc.Top(2) {
+		fmt.Println(e.Page, e.Count)
+	}
+	// Output:
+	// 3 3
+	// 2 2
+}

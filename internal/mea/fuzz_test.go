@@ -1,0 +1,39 @@
+package mea
+
+import "testing"
+
+// FuzzMEA drives Algorithm 1 with arbitrary page streams and checks its
+// structural invariants: entry count never exceeds K, counts never exceed
+// the saturation bound, and counts never exceed the page's true frequency.
+func FuzzMEA(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 1, 1, 9}, uint8(4), uint8(2))
+	f.Add([]byte{}, uint8(1), uint8(1))
+	f.Add([]byte{0, 0, 0, 0}, uint8(2), uint8(8))
+
+	f.Fuzz(func(t *testing.T, stream []byte, kRaw, bitsRaw uint8) {
+		k := int(kRaw%64) + 1
+		bits := int(bitsRaw%16) + 1
+		m := NewMEA(k, bits)
+		truth := map[uint64]uint64{}
+		for _, b := range stream {
+			p := uint64(b)
+			truth[p]++
+			m.Observe(p)
+			if m.Len() > k {
+				t.Fatalf("entries %d exceed K=%d", m.Len(), k)
+			}
+		}
+		max := uint64(1)<<bits - 1
+		for _, e := range m.Hot() {
+			if e.Count > max {
+				t.Fatalf("count %d exceeds %d-bit saturation", e.Count, bits)
+			}
+			if e.Count > truth[e.Page] {
+				t.Fatalf("page %d counted %d > true %d", e.Page, e.Count, truth[e.Page])
+			}
+			if !m.Contains(e.Page) {
+				t.Fatalf("Hot() reported untracked page %d", e.Page)
+			}
+		}
+	})
+}

@@ -1,0 +1,179 @@
+// Package mea implements the activity-tracking schemes compared in §3 of
+// the paper: the Majority Element Algorithm tracker (Algorithm 1) that
+// MemPod uses, and the Full Counters scheme used by HMA-style designs.
+//
+// Both observe a stream of page IDs and, at interval boundaries, report
+// which pages they believe are hot. MEA keeps at most K entries with
+// saturating counters of configurable width; Full Counters keeps one
+// counter per page ever touched.
+package mea
+
+import "sort"
+
+// Entry is one (page, count) pair reported by a tracker.
+type Entry struct {
+	Page  uint64
+	Count uint64
+}
+
+// Tracker is the common interface of activity-tracking schemes. A tracker
+// observes one interval's accesses; Reset starts the next interval.
+type Tracker interface {
+	// Observe records one access to page p.
+	Observe(p uint64)
+	// Hot returns the tracker's current hot set, most-counted first, ties
+	// broken by ascending page ID for determinism. The length is bounded
+	// by the tracker's capacity (K for MEA, unbounded for Full Counters).
+	Hot() []Entry
+	// Reset clears all state for the next interval.
+	Reset()
+}
+
+// MEA is the Majority Element Algorithm tracker of Algorithm 1: a map of at
+// most K page entries. On an access to a tracked page its counter
+// increments (saturating at the configured width); an access to an
+// untracked page inserts it if a slot is free, otherwise every counter is
+// decremented by one and zero-count entries are evicted.
+//
+// Note: the paper's pseudocode inserts while |T| < K-1, which strands one
+// of the K hardware slots; we insert while |T| < K so all K counters are
+// usable, matching the prose ("a map structure of K entries" and "up to K
+// migrations per interval").
+type MEA struct {
+	k        int
+	maxCount uint64
+	counts   map[uint64]uint64
+}
+
+// NewMEA returns an MEA tracker with k entries and counterBits-wide
+// saturating counters. The paper's design point is k=64, counterBits=2;
+// the §3 oracle study uses k=128. counterBits of 64 is effectively
+// unsaturated.
+func NewMEA(k, counterBits int) *MEA {
+	if k <= 0 {
+		panic("mea: k must be positive")
+	}
+	if counterBits <= 0 || counterBits > 64 {
+		panic("mea: counterBits must be in [1,64]")
+	}
+	var max uint64
+	if counterBits >= 64 {
+		max = ^uint64(0)
+	} else {
+		max = (uint64(1) << counterBits) - 1
+	}
+	return &MEA{k: k, maxCount: max, counts: make(map[uint64]uint64, k)}
+}
+
+// K returns the tracker's entry capacity.
+func (m *MEA) K() int { return m.k }
+
+// Observe implements Tracker, performing one step of Algorithm 1.
+func (m *MEA) Observe(p uint64) {
+	if c, ok := m.counts[p]; ok {
+		if c < m.maxCount {
+			m.counts[p] = c + 1
+		}
+		return
+	}
+	if len(m.counts) < m.k {
+		m.counts[p] = 1
+		return
+	}
+	// Decrement-all: subtract one from every counter and evict zeros. The
+	// incoming page is not inserted; in hardware this is the single-cycle
+	// parallel subtract/compare the paper describes.
+	for q, c := range m.counts {
+		if c <= 1 {
+			delete(m.counts, q)
+		} else {
+			m.counts[q] = c - 1
+		}
+	}
+}
+
+// Len returns the number of live entries.
+func (m *MEA) Len() int { return len(m.counts) }
+
+// Contains reports whether page p is currently tracked. MemPod's victim
+// selection uses this to skip fast frames that already hold hot pages.
+func (m *MEA) Contains(p uint64) bool {
+	_, ok := m.counts[p]
+	return ok
+}
+
+// Hot implements Tracker.
+func (m *MEA) Hot() []Entry {
+	out := make([]Entry, 0, len(m.counts))
+	for p, c := range m.counts {
+		out = append(out, Entry{Page: p, Count: c})
+	}
+	sortEntries(out)
+	return out
+}
+
+// Reset implements Tracker.
+func (m *MEA) Reset() {
+	clear(m.counts)
+}
+
+// FullCounters is the reference scheme: one unbounded counter per page
+// ever observed in the interval. Its storage grows with the footprint —
+// the cost the paper's ~12800x comparison is about.
+type FullCounters struct {
+	counts map[uint64]uint64
+}
+
+// NewFullCounters returns an empty Full Counters tracker.
+func NewFullCounters() *FullCounters {
+	return &FullCounters{counts: make(map[uint64]uint64)}
+}
+
+// Observe implements Tracker.
+func (f *FullCounters) Observe(p uint64) { f.counts[p]++ }
+
+// Len returns the number of pages with nonzero counts.
+func (f *FullCounters) Len() int { return len(f.counts) }
+
+// Hot implements Tracker. For Full Counters this ranks every observed page.
+func (f *FullCounters) Hot() []Entry {
+	out := make([]Entry, 0, len(f.counts))
+	for p, c := range f.counts {
+		out = append(out, Entry{Page: p, Count: c})
+	}
+	sortEntries(out)
+	return out
+}
+
+// Contains reports whether page p has been observed this interval.
+func (f *FullCounters) Contains(p uint64) bool {
+	_, ok := f.counts[p]
+	return ok
+}
+
+// Top returns the n most-accessed pages (fewer if fewer were observed).
+func (f *FullCounters) Top(n int) []Entry {
+	h := f.Hot()
+	if len(h) > n {
+		h = h[:n]
+	}
+	return h
+}
+
+// Reset implements Tracker.
+func (f *FullCounters) Reset() { clear(f.counts) }
+
+func sortEntries(es []Entry) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Count != es[j].Count {
+			return es[i].Count > es[j].Count
+		}
+		return es[i].Page < es[j].Page
+	})
+}
+
+// Compile-time interface checks.
+var (
+	_ Tracker = (*MEA)(nil)
+	_ Tracker = (*FullCounters)(nil)
+)

@@ -1,0 +1,251 @@
+package mea
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMEABasicCounting(t *testing.T) {
+	m := NewMEA(4, 64)
+	for i := 0; i < 5; i++ {
+		m.Observe(7)
+	}
+	m.Observe(9)
+	hot := m.Hot()
+	if len(hot) != 2 {
+		t.Fatalf("hot len %d, want 2", len(hot))
+	}
+	if hot[0] != (Entry{Page: 7, Count: 5}) || hot[1] != (Entry{Page: 9, Count: 1}) {
+		t.Fatalf("hot = %+v", hot)
+	}
+}
+
+func TestMEACapacityBound(t *testing.T) {
+	m := NewMEA(8, 64)
+	for p := uint64(0); p < 1000; p++ {
+		m.Observe(p)
+		if m.Len() > 8 {
+			t.Fatalf("MEA exceeded capacity: %d entries", m.Len())
+		}
+	}
+}
+
+func TestMEADecrementAllEvictsZeros(t *testing.T) {
+	m := NewMEA(2, 64)
+	m.Observe(1) // count 1
+	m.Observe(2) // count 1; map full
+	m.Observe(3) // decrement-all: both drop to 0 and are evicted; 3 not added
+	if m.Len() != 0 {
+		t.Fatalf("len %d after decrement-all, want 0", m.Len())
+	}
+	if m.Contains(3) {
+		t.Fatal("incoming page must not be inserted during decrement-all")
+	}
+}
+
+func TestMEADecrementPreservesLargeCounts(t *testing.T) {
+	m := NewMEA(2, 64)
+	for i := 0; i < 10; i++ {
+		m.Observe(1)
+	}
+	m.Observe(2)
+	m.Observe(3) // decrement-all: 1 -> 9, 2 evicted
+	if !m.Contains(1) || m.Contains(2) {
+		t.Fatal("wrong survivors")
+	}
+	if got := m.Hot()[0].Count; got != 9 {
+		t.Fatalf("count = %d, want 9", got)
+	}
+}
+
+func TestMEASaturatingCounter(t *testing.T) {
+	m := NewMEA(4, 2) // 2-bit counters saturate at 3, the paper's design point
+	for i := 0; i < 100; i++ {
+		m.Observe(5)
+	}
+	if got := m.Hot()[0].Count; got != 3 {
+		t.Fatalf("saturated count = %d, want 3", got)
+	}
+	// Saturation favors recency: three decrement-alls evict even a
+	// heavily accessed page.
+	m2 := NewMEA(1, 2)
+	for i := 0; i < 100; i++ {
+		m2.Observe(5)
+	}
+	for i := uint64(10); i < 13; i++ {
+		m2.Observe(i) // all decrement-alls, map stays full with page 5
+	}
+	if m2.Contains(5) {
+		t.Fatal("2-bit counter should have been worn down after 3 misses")
+	}
+}
+
+func TestMEAReset(t *testing.T) {
+	m := NewMEA(4, 64)
+	m.Observe(1)
+	m.Observe(2)
+	m.Reset()
+	if m.Len() != 0 || len(m.Hot()) != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestNewMEAPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewMEA(0, 2) },
+		func() { NewMEA(4, 0) },
+		func() { NewMEA(4, 65) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("constructor accepted invalid arguments")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// The Misra-Gries guarantee (Karp et al., Charikar et al.): with K
+// unbounded counters, any element occurring more than N/(K+1) times in the
+// stream must survive in the map.
+func TestMEAMajorityGuarantee(t *testing.T) {
+	prop := func(seed int64) bool {
+		const k = 8
+		const n = 2000
+		rng := rand.New(rand.NewSource(seed))
+		// One heavy element with > N/(K+1) occurrences, noise elsewhere.
+		heavy := uint64(1_000_000)
+		heavyCount := n/(k+1) + 1 + rng.Intn(200)
+		stream := make([]uint64, 0, n)
+		for i := 0; i < heavyCount; i++ {
+			stream = append(stream, heavy)
+		}
+		for len(stream) < n {
+			stream = append(stream, rng.Uint64()%5000)
+		}
+		rng.Shuffle(len(stream), func(i, j int) { stream[i], stream[j] = stream[j], stream[i] })
+
+		m := NewMEA(k, 64)
+		for _, p := range stream {
+			m.Observe(p)
+		}
+		return m.Contains(heavy)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// MEA's count for any page never exceeds its true occurrence count
+// (undercounting only), with unbounded counters.
+func TestMEAUndercounts(t *testing.T) {
+	prop := func(seed int64, raw []uint8) bool {
+		m := NewMEA(6, 64)
+		truth := map[uint64]uint64{}
+		for _, b := range raw {
+			p := uint64(b % 32)
+			truth[p]++
+			m.Observe(p)
+		}
+		for _, e := range m.Hot() {
+			if e.Count > truth[e.Page] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// MEA favors recency: a burst of accesses to new pages at the end of an
+// interval displaces pages accessed long before.
+func TestMEARecencyBias(t *testing.T) {
+	m := NewMEA(4, 64)
+	// Early phase: pages 1..4 accessed 10 times each.
+	for i := 0; i < 10; i++ {
+		for p := uint64(1); p <= 4; p++ {
+			m.Observe(p)
+		}
+	}
+	// Late phase: pages 101..104 accessed 11 times each, interleaved so
+	// decrements wear the old entries down and slots open up.
+	for i := 0; i < 11; i++ {
+		for p := uint64(101); p <= 104; p++ {
+			m.Observe(p)
+		}
+	}
+	hot := m.Hot()
+	recent := 0
+	for _, e := range hot {
+		if e.Page > 100 {
+			recent++
+		}
+	}
+	if recent < 3 {
+		t.Errorf("only %d recent pages survived, want >= 3 (got %+v)", recent, hot)
+	}
+}
+
+func TestFullCountersExact(t *testing.T) {
+	f := NewFullCounters()
+	counts := map[uint64]int{3: 5, 9: 2, 12: 8}
+	for p, n := range counts {
+		for i := 0; i < n; i++ {
+			f.Observe(p)
+		}
+	}
+	hot := f.Hot()
+	if len(hot) != 3 {
+		t.Fatalf("len %d", len(hot))
+	}
+	if hot[0].Page != 12 || hot[1].Page != 3 || hot[2].Page != 9 {
+		t.Fatalf("order wrong: %+v", hot)
+	}
+	if hot[0].Count != 8 {
+		t.Fatal("count wrong")
+	}
+	if top := f.Top(2); len(top) != 2 || top[0].Page != 12 {
+		t.Fatalf("Top(2) = %+v", top)
+	}
+	if top := f.Top(10); len(top) != 3 {
+		t.Fatalf("Top(10) = %+v", top)
+	}
+	f.Reset()
+	if f.Len() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestHotDeterministicTieBreak(t *testing.T) {
+	f := NewFullCounters()
+	for _, p := range []uint64{5, 3, 9, 1} {
+		f.Observe(p)
+	}
+	hot := f.Hot()
+	want := []uint64{1, 3, 5, 9}
+	for i, e := range hot {
+		if e.Page != want[i] {
+			t.Fatalf("tie-break order %+v, want pages %v", hot, want)
+		}
+	}
+}
+
+// FC counts exactly; MEA's survivors are a subset of observed pages.
+func TestTrackersAgreeOnSingleHotPage(t *testing.T) {
+	trackers := []Tracker{NewMEA(16, 64), NewFullCounters()}
+	for _, tr := range trackers {
+		for i := 0; i < 100; i++ {
+			tr.Observe(42)
+			tr.Observe(uint64(i + 1000)) // unique noise
+		}
+		hot := tr.Hot()
+		if len(hot) == 0 || hot[0].Page != 42 {
+			t.Errorf("%T: top page %+v, want 42", tr, hot)
+		}
+	}
+}

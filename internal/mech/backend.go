@@ -1,0 +1,140 @@
+package mech
+
+import (
+	"repro/internal/addr"
+	"repro/internal/clock"
+	"repro/internal/memsys"
+)
+
+// Backend issues physical line requests into the memory system on behalf of
+// a mechanism. It owns the address layout and exposes the two access paths
+// mechanisms need: demand/migration lines at explicit frames, and
+// bookkeeping reads against a backing-store partition in fast memory.
+type Backend struct {
+	Sys    *memsys.System
+	Layout addr.Layout
+}
+
+// NewBackend wraps a memory system.
+func NewBackend(sys *memsys.System) *Backend {
+	return &Backend{Sys: sys, Layout: sys.Layout()}
+}
+
+// Line services line `li` (0..31) of frame f in pod `pod` and returns the
+// completion time.
+func (b *Backend) Line(pod int, f addr.Frame, li int, write bool, at clock.Time) clock.Time {
+	return b.Sys.Access(b.Layout.FrameLocation(pod, f, li), write, at)
+}
+
+// HomeLine services a line at its home (pre-migration) location.
+func (b *Backend) HomeLine(ln addr.Line, write bool, at clock.Time) clock.Time {
+	return b.Sys.Access(b.Layout.HomeLocation(ln), write, at)
+}
+
+// SwapPages performs the full datapath of one page swap between frames a
+// and b of one pod, as the paper models it: 32 reads from each page into
+// migration buffers, then 32 write-backs to each page at its new location.
+// Requests are issued back-to-back starting at `at` and contend with demand
+// traffic on the pod's channels; the returned time is when the last
+// write-back completes.
+func (b *Backend) SwapPages(pod int, fa, fb addr.Frame, at clock.Time) clock.Time {
+	return b.SwapPagesChunk(pod, fa, fb, 0, addr.LinesPerPage, at)
+}
+
+// SwapPagesChunk performs the lines [lo, hi) of a page swap: reads of both
+// frames' lines, then the cross write-backs. Migration drivers issue swaps
+// in chunks paced across their epoch so the copy traffic interleaves with
+// demand at the memory controllers instead of monopolizing a channel in
+// one burst.
+func (b *Backend) SwapPagesChunk(pod int, fa, fb addr.Frame, lo, hi int, at clock.Time) clock.Time {
+	end := at
+	for li := lo; li < hi; li++ {
+		if t := b.Line(pod, fa, li, false, at); t > end {
+			end = t
+		}
+		if t := b.Line(pod, fb, li, false, at); t > end {
+			end = t
+		}
+	}
+	readsDone := end
+	for li := lo; li < hi; li++ {
+		if t := b.Line(pod, fa, li, true, readsDone); t > end {
+			end = t
+		}
+		if t := b.Line(pod, fb, li, true, readsDone); t > end {
+			end = t
+		}
+	}
+	return end
+}
+
+// SwapGlobal swaps the contents of two arbitrary page slots of the flat
+// address space (identified by their home pages), for mechanisms without
+// pod clustering (HMA, THM). The datapath is the same 32+32 reads and
+// writes per page as SwapPages, but the traffic crosses the global
+// interconnect between the two slots' channels.
+func (b *Backend) SwapGlobal(slotA, slotB addr.Page, at clock.Time) clock.Time {
+	return b.SwapGlobalChunk(slotA, slotB, 0, addr.LinesPerPage, at)
+}
+
+// SwapGlobalChunk performs the lines [lo, hi) of a global page swap; see
+// SwapPagesChunk for why swaps are chunked.
+func (b *Backend) SwapGlobalChunk(slotA, slotB addr.Page, lo, hi int, at clock.Time) clock.Time {
+	podA, fA := b.Layout.HomeFrame(slotA)
+	podB, fB := b.Layout.HomeFrame(slotB)
+	end := at
+	for li := lo; li < hi; li++ {
+		if t := b.Line(podA, fA, li, false, at); t > end {
+			end = t
+		}
+		if t := b.Line(podB, fB, li, false, at); t > end {
+			end = t
+		}
+	}
+	readsDone := end
+	for li := lo; li < hi; li++ {
+		if t := b.Line(podA, fA, li, true, readsDone); t > end {
+			end = t
+		}
+		if t := b.Line(podB, fB, li, true, readsDone); t > end {
+			end = t
+		}
+	}
+	return end
+}
+
+// SwapLines performs CAMEO's line-granularity swap between two locations:
+// two reads then two writes. Returns the completion of the last write.
+func (b *Backend) SwapLines(la, lb addr.Location, at clock.Time) clock.Time {
+	r1 := b.Sys.Access(la, false, at)
+	r2 := b.Sys.Access(lb, false, at)
+	readsDone := clock.Max(r1, r2)
+	w1 := b.Sys.Access(la, true, readsDone)
+	w2 := b.Sys.Access(lb, true, readsDone)
+	return clock.Max(w1, w2)
+}
+
+// BookkeepingRead injects the 64 B read that a bookkeeping-cache miss
+// costs. The backing store lives in a partition of fast memory (as in the
+// paper); the row is derived from the entry key so distinct entries spread
+// over banks. For single-level slow-only systems it falls back to slow
+// memory.
+func (b *Backend) BookkeepingRead(pod int, key uint64, at clock.Time) clock.Time {
+	var loc addr.Location
+	if b.Layout.FastChannels > 0 {
+		cpp := b.Layout.FastChannelsPerPod()
+		loc = addr.Location{
+			Channel: pod%b.Layout.NumPods*cpp + int(key%uint64(cpp)),
+			Fast:    true,
+			// Keep bookkeeping rows clear of the hottest data rows by
+			// hashing into a high row band.
+			Row: 1<<20 + key%4096,
+		}
+	} else {
+		loc = addr.Location{
+			Channel: b.Layout.FastChannels + int(key%uint64(b.Layout.SlowChannels)),
+			Row:     1<<20 + key%4096,
+		}
+	}
+	return b.Sys.Access(loc, false, at)
+}

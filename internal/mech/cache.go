@@ -1,0 +1,81 @@
+package mech
+
+// Cache is a set-associative, LRU, tag-only cache model for bookkeeping
+// state (remap tables, activity counters). It tracks which 64 B blocks of
+// the backing store are resident on chip; a miss costs the caller one
+// memory read (Backend.BookkeepingRead) plus the eventual refill, which we
+// fold into that single read as the paper does.
+//
+// Keys are block indices: callers pack multiple table entries per block
+// (e.g. sixteen 4-byte remap entries per 64 B block) before lookup.
+type Cache struct {
+	sets uint64
+	ways int
+	// tags[set*ways : (set+1)*ways] holds resident keys in LRU order,
+	// most recent first. Zero-valued slots are encoded with `valid`.
+	tags  []uint64
+	valid []bool
+}
+
+// BlockBytes is the cache block (and backing-store access) granularity.
+const BlockBytes = 64
+
+// NewCache builds a cache of the given total capacity in bytes with the
+// given associativity. Capacity is rounded down to a whole number of sets;
+// a capacity below one block yields a cache that always misses.
+func NewCache(capacityBytes, ways int) *Cache {
+	if ways <= 0 {
+		ways = 1
+	}
+	blocks := capacityBytes / BlockBytes
+	sets := blocks / ways
+	if sets <= 0 {
+		return &Cache{sets: 0}
+	}
+	return &Cache{
+		sets:  uint64(sets),
+		ways:  ways,
+		tags:  make([]uint64, sets*ways),
+		valid: make([]bool, sets*ways),
+	}
+}
+
+// Access looks up block `key`, inserting it (with LRU eviction) on miss,
+// and reports whether it hit.
+func (c *Cache) Access(key uint64) bool {
+	if c.sets == 0 {
+		return false
+	}
+	set := int(mix64(key) % c.sets)
+	base := set * c.ways
+	way := -1
+	for i := 0; i < c.ways; i++ {
+		if c.valid[base+i] && c.tags[base+i] == key {
+			way = i
+			break
+		}
+	}
+	hit := way >= 0
+	if !hit {
+		way = c.ways - 1 // evict LRU
+	}
+	// Move to MRU position.
+	for i := way; i > 0; i-- {
+		c.tags[base+i] = c.tags[base+i-1]
+		c.valid[base+i] = c.valid[base+i-1]
+	}
+	c.tags[base] = key
+	c.valid[base] = true
+	return hit
+}
+
+// mix64 is a finalizing hash (splitmix64) spreading block indices over
+// sets so strided table walks don't collide pathologically.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

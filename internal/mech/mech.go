@@ -1,0 +1,53 @@
+// Package mech defines the common machinery of hybrid-memory management
+// mechanisms: the Mechanism interface the simulation engine drives, the
+// Backend that issues physical requests into the memory system, and the
+// set-associative cache model used for bookkeeping state (§6.3.3).
+//
+// The concrete mechanisms live in their own packages: internal/core
+// (MemPod), internal/hma, internal/thm and internal/cameo; this package
+// also provides the static (no-migration and single-level) references.
+package mech
+
+import (
+	"repro/internal/clock"
+	"repro/internal/trace"
+)
+
+// Mechanism is a memory-management scheme under evaluation. The engine
+// calls Access once per trace request, in non-decreasing time order, and
+// the mechanism routes the request (after any translation, bookkeeping
+// traffic, interval processing or migration stalling it models) and
+// returns the completion time.
+type Mechanism interface {
+	// Name identifies the mechanism in reports.
+	Name() string
+	// Access services one demand request arriving at time `at` and
+	// returns its completion time (> at).
+	Access(r *trace.Request, at clock.Time) clock.Time
+	// Stats returns the mechanism's migration counters.
+	Stats() MigStats
+}
+
+// MigStats counts migration and bookkeeping activity.
+type MigStats struct {
+	Intervals         uint64 // interval boundaries processed
+	PageMigrations    uint64 // pages moved (each is a swap participant)
+	LineMigrations    uint64 // 64 B lines moved
+	BytesMoved        uint64 // total migration traffic
+	CacheHits         uint64 // bookkeeping cache hits
+	CacheMisses       uint64 // bookkeeping cache misses (each injects a read)
+	LockStalls        uint64 // demand requests delayed by an in-flight swap
+	DroppedMigrations uint64 // scheduled swaps superseded before starting
+	// GlobalMoveLines counts moved lines that crossed the global switch:
+	// zero for MemPod (intra-pod datapath), equal to LineMigrations for
+	// the mechanisms that swap across arbitrary channel pairs (§5.3).
+	GlobalMoveLines uint64
+}
+
+// BytesMovedPerPod returns average migration traffic per pod.
+func (m MigStats) BytesMovedPerPod(pods int) uint64 {
+	if pods <= 0 {
+		return m.BytesMoved
+	}
+	return m.BytesMoved / uint64(pods)
+}

@@ -1,0 +1,182 @@
+package mech
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addr"
+	"repro/internal/clock"
+	"repro/internal/dram"
+	"repro/internal/memsys"
+	"repro/internal/trace"
+)
+
+func testBackend(t *testing.T) *Backend {
+	t.Helper()
+	return NewBackend(memsys.MustNew(addr.DefaultLayout(), dram.HBM(), dram.DDR4_1600()))
+}
+
+func TestStaticRoutesHome(t *testing.T) {
+	b := testBackend(t)
+	s := NewStatic("TLM", b)
+	if s.Name() != "TLM" {
+		t.Fatal("name")
+	}
+	fast := &trace.Request{Addr: 0}
+	slow := &trace.Request{Addr: 2 << 30}
+	f := s.Access(fast, 0)
+	sl := s.Access(slow, 0)
+	if f >= sl {
+		t.Errorf("fast home access %v not faster than slow %v", f, sl)
+	}
+	if b.Sys.FastStats().Accesses() != 1 || b.Sys.SlowStats().Accesses() != 1 {
+		t.Error("requests routed to wrong levels")
+	}
+	if s.Stats() != (MigStats{}) {
+		t.Error("static mechanism reported migrations")
+	}
+}
+
+func TestSwapPagesMovesWholePages(t *testing.T) {
+	b := testBackend(t)
+	fastFrame := addr.Frame(0)
+	slowFrame := addr.Frame(b.Layout.FastPagesPerPod())
+	end := b.SwapPages(0, fastFrame, slowFrame, 0)
+	if end <= 0 {
+		t.Fatal("swap completed instantly")
+	}
+	// 32 reads + 32 writes per page, both pages: 64 accesses per level.
+	fs, ss := b.Sys.FastStats(), b.Sys.SlowStats()
+	if fs.Reads != 32 || fs.Writes != 32 {
+		t.Errorf("fast level %d reads %d writes, want 32/32", fs.Reads, fs.Writes)
+	}
+	if ss.Reads != 32 || ss.Writes != 32 {
+		t.Errorf("slow level %d reads %d writes, want 32/32", ss.Reads, ss.Writes)
+	}
+	// A swap is bounded below by the slow page transfer: 64 line bursts.
+	if min := clock.Duration(64) * dram.DDR4_1600().BurstTime(); end < clock.Time(min) {
+		t.Errorf("swap finished unrealistically fast: %v < %v", end, min)
+	}
+}
+
+func TestSwapLines(t *testing.T) {
+	b := testBackend(t)
+	la := b.Layout.HomeLocation(0)
+	lb := b.Layout.HomeLocation(addr.Line(uint64(b.Layout.FastPages()) * addr.LinesPerPage))
+	end := b.SwapLines(la, lb, 0)
+	if end <= 0 {
+		t.Fatal("line swap completed instantly")
+	}
+	total := b.Sys.FastStats().Accesses() + b.Sys.SlowStats().Accesses()
+	if total != 4 {
+		t.Errorf("line swap issued %d accesses, want 4", total)
+	}
+}
+
+func TestBookkeepingReadTargetsFast(t *testing.T) {
+	b := testBackend(t)
+	done := b.BookkeepingRead(2, 12345, 0)
+	if done <= 0 {
+		t.Fatal("no read issued")
+	}
+	if b.Sys.FastStats().Accesses() != 1 {
+		t.Error("bookkeeping read did not go to fast memory")
+	}
+	// Slow-only system: must fall back to slow memory without panicking.
+	slowOnly := NewBackend(memsys.MustNew(
+		addr.Layout{SlowBytes: 9 << 30, SlowChannels: 4, NumPods: 4},
+		dram.HBM(), dram.DDR4_1600()))
+	if slowOnly.BookkeepingRead(0, 7, 0) <= 0 {
+		t.Error("slow-only bookkeeping read failed")
+	}
+}
+
+func TestCacheHitsAfterInsert(t *testing.T) {
+	c := NewCache(1024, 4)
+	if c.Access(42) {
+		t.Fatal("cold cache hit")
+	}
+	if !c.Access(42) {
+		t.Fatal("no hit after insert")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// Single-set cache: capacity 4 blocks, 4 ways.
+	c := NewCache(4*BlockBytes, 4)
+	keys := []uint64{1, 2, 3, 4}
+	for _, k := range keys {
+		c.Access(k)
+	}
+	c.Access(1)  // 1 becomes MRU; LRU is 2
+	c.Access(99) // evicts 2
+	if !c.Access(1) || !c.Access(3) || !c.Access(4) || !c.Access(99) {
+		t.Fatal("resident keys evicted")
+	}
+	if c.Access(2) {
+		t.Fatal("LRU key 2 still resident")
+	}
+}
+
+func TestCacheZeroCapacityAlwaysMisses(t *testing.T) {
+	c := NewCache(0, 4)
+	for i := 0; i < 10; i++ {
+		if c.Access(7) {
+			t.Fatal("zero-capacity cache hit")
+		}
+	}
+}
+
+func TestCacheWorkingSetProperty(t *testing.T) {
+	// Any working set that fits within one set's ways must reach 100%
+	// hit rate after the first pass.
+	prop := func(seed uint64) bool {
+		c := NewCache(64*BlockBytes, 64) // one set, 64 ways
+		var keys []uint64
+		for i := uint64(0); i < 32; i++ {
+			keys = append(keys, seed+i*17)
+		}
+		for _, k := range keys {
+			c.Access(k)
+		}
+		for _, k := range keys {
+			if !c.Access(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBiggerCacheNeverWorse(t *testing.T) {
+	// Hit counts under a fixed scan must not decrease with capacity.
+	run := func(capacity int) int {
+		c := NewCache(capacity, 8)
+		hits := 0
+		for pass := 0; pass < 4; pass++ {
+			for k := uint64(0); k < 512; k++ {
+				if c.Access(k) {
+					hits++
+				}
+			}
+		}
+		return hits
+	}
+	small, large := run(8*1024), run(64*1024)
+	if large < small {
+		t.Errorf("64KB cache hits %d < 8KB cache hits %d", large, small)
+	}
+}
+
+func TestMigStatsPerPod(t *testing.T) {
+	m := MigStats{BytesMoved: 4096}
+	if m.BytesMovedPerPod(4) != 1024 {
+		t.Error("per-pod division wrong")
+	}
+	if m.BytesMovedPerPod(0) != 4096 {
+		t.Error("zero pods should return total")
+	}
+}

@@ -1,0 +1,107 @@
+// Package memsys composes DRAM channels into the two-level memory system of
+// the paper: a set of fast (stacked) channels and a set of slow (off-chip)
+// channels behind a shared flat address layout.
+//
+// The system services fully resolved physical locations (addr.Location);
+// translation from flat addresses to locations is the job of the migration
+// mechanisms, which is exactly the paper's hardware split — pods sit between
+// the LLC and the memory controllers and re-encode requests before
+// forwarding them.
+package memsys
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/clock"
+	"repro/internal/dram"
+)
+
+// System is a collection of DRAM channels with dense IDs per addr.Layout:
+// channels [0, FastChannels) use the fast spec, the rest the slow spec.
+// Not safe for concurrent use.
+type System struct {
+	layout   addr.Layout
+	fast     dram.Spec
+	slow     dram.Spec
+	channels []*dram.Channel
+}
+
+// New builds the memory system for a layout. Single-level layouts (zero
+// channels on one side) are allowed for the paper's HBM-only and DDR-only
+// reference configurations.
+func New(layout addr.Layout, fast, slow dram.Spec) (*System, error) {
+	if err := layout.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{layout: layout, fast: fast, slow: slow}
+	for i := 0; i < layout.FastChannels; i++ {
+		s.channels = append(s.channels, dram.NewChannel(fast))
+	}
+	for i := 0; i < layout.SlowChannels; i++ {
+		s.channels = append(s.channels, dram.NewChannel(slow))
+	}
+	if len(s.channels) == 0 {
+		return nil, fmt.Errorf("memsys: layout has no channels")
+	}
+	return s, nil
+}
+
+// MustNew is New for known-good configurations; it panics on error.
+func MustNew(layout addr.Layout, fast, slow dram.Spec) *System {
+	s, err := New(layout, fast, slow)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Layout returns the system's address layout.
+func (s *System) Layout() addr.Layout { return s.layout }
+
+// Access services one 64-byte request at the given physical location and
+// returns its completion time. The location's row index is presented to the
+// channel directly: lines within one 8 KB row share a bank and row buffer,
+// while consecutive rows interleave across banks.
+func (s *System) Access(loc addr.Location, write bool, at clock.Time) clock.Time {
+	ch := s.channels[loc.Channel]
+	return ch.Access(loc.Row, write, at)
+}
+
+// LevelStats aggregates the channel counters of one memory level.
+type LevelStats struct {
+	dram.Stats
+	Channels int
+}
+
+// FastStats returns aggregated counters over the fast channels.
+func (s *System) FastStats() LevelStats { return s.aggregate(0, s.layout.FastChannels) }
+
+// SlowStats returns aggregated counters over the slow channels.
+func (s *System) SlowStats() LevelStats {
+	return s.aggregate(s.layout.FastChannels, len(s.channels))
+}
+
+func (s *System) aggregate(lo, hi int) LevelStats {
+	var out LevelStats
+	out.Channels = hi - lo
+	for _, c := range s.channels[lo:hi] {
+		cs := c.Stats()
+		out.Reads += cs.Reads
+		out.Writes += cs.Writes
+		out.RowHits += cs.RowHits
+		out.RowClosed += cs.RowClosed
+		out.RowConflicts += cs.RowConflicts
+		out.BusBusy += cs.BusBusy
+		if cs.LastFinish > out.LastFinish {
+			out.LastFinish = cs.LastFinish
+		}
+	}
+	return out
+}
+
+// ChannelStats returns the counters of one channel, for diagnostics.
+func (s *System) ChannelStats(ch int) dram.Stats { return s.channels[ch].Stats() }
+
+// NumChannels returns the number of channels in the system.
+func (s *System) NumChannels() int { return len(s.channels) }

@@ -1,0 +1,72 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := New("fig0", "demo table", "name", "value", "note")
+	t.Add("alpha", "1.5", "first")
+	t.Add("beta", "2")
+	t.Addf("gamma", 3.14159, 42)
+	return t
+}
+
+func TestString(t *testing.T) {
+	s := sample().String()
+	if !strings.Contains(s, "== fig0: demo table ==") {
+		t.Errorf("missing header:\n%s", s)
+	}
+	for _, want := range []string{"alpha", "beta", "gamma", "3.142", "42"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q:\n%s", want, s)
+		}
+	}
+	// Columns align: every data line has the same prefix width for col 2.
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 1+1+1+3 {
+		t.Errorf("line count %d", len(lines))
+	}
+}
+
+func TestShortRowsPadded(t *testing.T) {
+	tab := sample()
+	for _, row := range tab.Rows {
+		if len(row) != len(tab.Columns) {
+			t.Errorf("row %v not padded to %d cells", row, len(tab.Columns))
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tab := New("x", "t", "a", "b")
+	tab.Add("plain", `has "quotes", commas`)
+	csv := tab.CSV()
+	want := "a,b\nplain,\"has \"\"quotes\"\", commas\"\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	md := sample().Markdown()
+	if !strings.Contains(md, "| name | value | note |") {
+		t.Errorf("markdown header wrong:\n%s", md)
+	}
+	if !strings.Contains(md, "|---|---|---|") {
+		t.Errorf("markdown separator wrong:\n%s", md)
+	}
+	if !strings.Contains(md, "| alpha | 1.5 | first |") {
+		t.Errorf("markdown row wrong:\n%s", md)
+	}
+}
+
+func TestAddfFormats(t *testing.T) {
+	tab := New("x", "t", "a", "b", "c")
+	tab.Addf("s", 1.0, uint64(7))
+	row := tab.Rows[0]
+	if row[0] != "s" || row[1] != "1.000" || row[2] != "7" {
+		t.Errorf("Addf row = %v", row)
+	}
+}

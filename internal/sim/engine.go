@@ -1,0 +1,104 @@
+// Package sim drives a memory trace through a management mechanism and a
+// two-level memory system and accumulates the paper's metrics.
+//
+// The engine plays the role of Ramulator's simple CPU front-end: requests
+// issue at their trace timestamps, gated by a bounded outstanding-request
+// window that models resource-induced stalls (a core cannot have unbounded
+// misses in flight).
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/mech"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// DefaultWindow is the default maximum number of outstanding requests
+// (8 cores × 16 MSHRs).
+const DefaultWindow = 128
+
+// Engine runs traces against one mechanism.
+type Engine struct {
+	backend *mech.Backend
+	m       mech.Mechanism
+	// Window caps outstanding requests; 0 means DefaultWindow, negative
+	// means unlimited.
+	Window int
+}
+
+// New returns an engine for the mechanism built over the backend.
+func New(b *mech.Backend, m mech.Mechanism) *Engine {
+	return &Engine{backend: b, m: m}
+}
+
+// Run replays the stream to completion and returns the run's metrics.
+// The stream must be time-ordered (workload streams are).
+func (e *Engine) Run(workload string, s trace.Stream) (stats.Result, error) {
+	window := e.Window
+	if window == 0 {
+		window = DefaultWindow
+	}
+	var ring []clock.Time
+	if window > 0 {
+		ring = make([]clock.Time, window)
+	}
+
+	res := stats.Result{Workload: workload, Mechanism: e.m.Name()}
+	var r trace.Request
+	var lastArrival clock.Time
+	for s.Next(&r) {
+		if r.Time < lastArrival {
+			return res, fmt.Errorf("sim: trace out of order at request %d (%v < %v)",
+				res.Requests, r.Time, lastArrival)
+		}
+		lastArrival = r.Time
+
+		at := r.Time
+		if ring != nil {
+			// The request cannot issue until the request `window` back
+			// has completed.
+			if gate := ring[res.Requests%uint64(window)]; gate > at {
+				at = gate
+			}
+		}
+		done := e.m.Access(&r, at)
+		if done <= at {
+			return res, fmt.Errorf("sim: mechanism %s returned completion %v <= issue %v",
+				e.m.Name(), done, at)
+		}
+		if ring != nil {
+			ring[res.Requests%uint64(window)] = done
+		}
+
+		res.Requests++
+		res.TotalStall += done - r.Time
+		if done > res.Span {
+			res.Span = done
+		}
+	}
+
+	fs, ss := e.backend.Sys.FastStats(), e.backend.Sys.SlowStats()
+	res.FastAccesses = fs.Accesses()
+	res.SlowAccesses = ss.Accesses()
+	res.FastActivations = fs.RowClosed + fs.RowConflicts
+	res.SlowActivations = ss.RowClosed + ss.RowConflicts
+	res.FastRowHitRate = fs.RowHitRate()
+	res.SlowRowHitRate = ss.RowHitRate()
+	if total := fs.Accesses() + ss.Accesses(); total > 0 {
+		res.RowHitRate = float64(fs.RowHits+ss.RowHits) / float64(total)
+	}
+	res.Mig = e.m.Stats()
+	return res, nil
+}
+
+// MustRun is Run for known-good streams; it panics on error.
+func (e *Engine) MustRun(workload string, s trace.Stream) stats.Result {
+	res, err := e.Run(workload, s)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}

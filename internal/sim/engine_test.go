@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/cameo"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/hma"
+	"repro/internal/mech"
+	"repro/internal/memsys"
+	"repro/internal/stats"
+	"repro/internal/thm"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func newBackend() *mech.Backend {
+	return mech.NewBackend(memsys.MustNew(addr.DefaultLayout(), dram.HBM(), dram.DDR4_1600()))
+}
+
+func TestRunStatic(t *testing.T) {
+	b := newBackend()
+	e := New(b, mech.NewStatic("TLM", b))
+	w, _ := workload.Homogeneous("gcc")
+	res, err := e.Run("gcc", w.MustStream(10000, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 10000 {
+		t.Fatalf("requests %d", res.Requests)
+	}
+	if res.AMMAT() <= 0 {
+		t.Fatal("AMMAT not positive")
+	}
+	if res.FastAccesses+res.SlowAccesses != 10000 {
+		t.Fatalf("service counts %d+%d != 10000", res.FastAccesses, res.SlowAccesses)
+	}
+	if res.Span <= 0 {
+		t.Fatal("span not positive")
+	}
+}
+
+func TestRunRejectsUnorderedTrace(t *testing.T) {
+	b := newBackend()
+	e := New(b, mech.NewStatic("TLM", b))
+	reqs := []trace.Request{
+		{Addr: 0, Time: 100 * clock.Nanosecond},
+		{Addr: 64, Time: 50 * clock.Nanosecond},
+	}
+	if _, err := e.Run("bad", trace.NewSliceStream(reqs)); err == nil {
+		t.Fatal("unordered trace accepted")
+	}
+}
+
+func TestWindowGatesIssue(t *testing.T) {
+	// With a window of 1, back-to-back requests serialize even when their
+	// trace timestamps coincide.
+	mkTrace := func() trace.Stream {
+		reqs := make([]trace.Request, 64)
+		for i := range reqs {
+			reqs[i] = trace.Request{Addr: uint64(i) * 2048 * 8, Time: 0}
+		}
+		return trace.NewSliceStream(reqs)
+	}
+	b1 := newBackend()
+	e1 := New(b1, mech.NewStatic("TLM", b1))
+	e1.Window = 1
+	narrow := e1.MustRun("w", mkTrace())
+
+	b2 := newBackend()
+	e2 := New(b2, mech.NewStatic("TLM", b2))
+	e2.Window = -1 // unlimited
+	wide := e2.MustRun("w", mkTrace())
+
+	if narrow.TotalStall <= wide.TotalStall {
+		t.Errorf("window=1 stall %v not greater than unlimited %v",
+			narrow.TotalStall, wide.TotalStall)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() stats.Result {
+		b := newBackend()
+		e := New(b, core.MustNew(core.DefaultConfig(), b))
+		w, _ := workload.Mix(5)
+		return e.MustRun("mix5", w.MustStream(30000, 7))
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("runs differ:\n%+v\n%+v", a, b)
+	}
+}
+
+// The headline sanity check (Figure 8's shape): on a hot-set workload,
+// HBM-only is fastest and MemPod beats no-migration; on a streaming
+// workload, CAMEO's swap-per-access event trigger degrades it below the
+// no-migration baseline.
+func TestMechanismOrderingSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration smoke test")
+	}
+	const n = 120000
+
+	runWith := func(w workload.Workload, build func(b *mech.Backend) mech.Mechanism) stats.Result {
+		b := newBackend()
+		e := New(b, build(b))
+		return e.MustRun(w.Name, w.MustStream(n, 42))
+	}
+
+	hotset, _ := workload.Homogeneous("cactus")
+	tlm := runWith(hotset, func(b *mech.Backend) mech.Mechanism { return mech.NewStatic("TLM", b) })
+	mp := runWith(hotset, func(b *mech.Backend) mech.Mechanism { return core.MustNew(core.DefaultConfig(), b) })
+
+	hbmLayout := addr.Layout{FastBytes: 9 << 30, FastChannels: 8, NumPods: 4}
+	hb := mech.NewBackend(memsys.MustNew(hbmLayout, dram.HBM(), dram.DDR4_1600()))
+	hbm := New(hb, mech.NewStatic("HBM-only", hb)).MustRun("cactus", hotset.MustStream(n, 42))
+
+	stream, _ := workload.Homogeneous("bwaves")
+	tlmS := runWith(stream, func(b *mech.Backend) mech.Mechanism { return mech.NewStatic("TLM", b) })
+	camS := runWith(stream, func(b *mech.Backend) mech.Mechanism { return cameo.MustNew(cameo.DefaultConfig(), b) })
+
+	t.Logf("cactus AMMAT ns: HBM %.2f, MemPod %.2f, TLM %.2f; bwaves: TLM %.2f, CAMEO %.2f",
+		hbm.AMMAT(), mp.AMMAT(), tlm.AMMAT(), tlmS.AMMAT(), camS.AMMAT())
+
+	if !(hbm.AMMAT() < tlm.AMMAT()) {
+		t.Errorf("HBM-only (%.2f) not faster than TLM (%.2f)", hbm.AMMAT(), tlm.AMMAT())
+	}
+	if !(mp.AMMAT() < tlm.AMMAT()) {
+		t.Errorf("MemPod (%.2f) not faster than no-migration TLM (%.2f)", mp.AMMAT(), tlm.AMMAT())
+	}
+	if !(camS.AMMAT() > tlmS.AMMAT()) {
+		t.Errorf("CAMEO on streaming (%.2f) not slower than TLM (%.2f)", camS.AMMAT(), tlmS.AMMAT())
+	}
+}
+
+func TestBaselineMechanismsRunCleanly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	const n = 40000
+	w, _ := workload.Mix(1)
+
+	builders := []func(b *mech.Backend) mech.Mechanism{
+		func(b *mech.Backend) mech.Mechanism { return mech.NewStatic("TLM", b) },
+		func(b *mech.Backend) mech.Mechanism { return core.MustNew(core.DefaultConfig(), b) },
+		func(b *mech.Backend) mech.Mechanism { return thm.MustNew(thm.DefaultConfig(), b) },
+		func(b *mech.Backend) mech.Mechanism { return cameo.MustNew(cameo.DefaultConfig(), b) },
+		func(b *mech.Backend) mech.Mechanism {
+			cfg := hma.DefaultConfig()
+			cfg.Interval = 500 * clock.Microsecond
+			cfg.SortStall = 35 * clock.Microsecond
+			return hma.MustNew(cfg, b)
+		},
+	}
+	for _, build := range builders {
+		b := newBackend()
+		m := build(b)
+		res, err := New(b, m).Run("mix1", w.MustStream(n, 11))
+		if err != nil {
+			t.Errorf("%s: %v", m.Name(), err)
+			continue
+		}
+		if res.Requests != n || res.AMMAT() <= 0 {
+			t.Errorf("%s: bad result %+v", m.Name(), res)
+		}
+	}
+}

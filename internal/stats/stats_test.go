@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/clock"
+	"repro/internal/mech"
+)
+
+func TestAMMAT(t *testing.T) {
+	r := Result{Requests: 4, TotalStall: 100 * clock.Nanosecond}
+	if got := r.AMMAT(); got != 25 {
+		t.Errorf("AMMAT = %v, want 25", got)
+	}
+	if (Result{}).AMMAT() != 0 {
+		t.Error("empty result AMMAT should be 0")
+	}
+}
+
+func TestFastServiceFraction(t *testing.T) {
+	r := Result{FastAccesses: 30, SlowAccesses: 10}
+	if got := r.FastServiceFraction(); got != 0.75 {
+		t.Errorf("fraction = %v", got)
+	}
+	if (Result{}).FastServiceFraction() != 0 {
+		t.Error("empty fraction should be 0")
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	base := Result{Requests: 10, TotalStall: 1000}
+	r := Result{Requests: 10, TotalStall: 800}
+	if got := r.Normalized(base); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("normalized = %v, want 0.8", got)
+	}
+	if r.Normalized(Result{}) != 0 {
+		t.Error("normalizing against empty baseline should be 0")
+	}
+}
+
+func TestString(t *testing.T) {
+	r := Result{
+		Workload: "mix1", Mechanism: "MemPod", Requests: 100,
+		TotalStall:   2500 * clock.Nanosecond,
+		FastAccesses: 50, SlowAccesses: 50,
+		Mig: mech.MigStats{BytesMoved: 4 << 20},
+	}
+	s := r.String()
+	for _, want := range []string{"mix1", "MemPod", "25.00ns", "50%", "4MB"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestMean(t *testing.T) {
+	rs := []Result{
+		{Requests: 1, TotalStall: 10 * clock.Nanosecond},
+		{Requests: 1, TotalStall: 30 * clock.Nanosecond},
+	}
+	if got := Mean(rs, Result.AMMAT); got != 20 {
+		t.Errorf("mean = %v", got)
+	}
+	if Mean(nil, Result.AMMAT) != 0 {
+		t.Error("empty mean should be 0")
+	}
+}
+
+func TestGeoMeanNormalized(t *testing.T) {
+	base := []Result{
+		{Workload: "a", Requests: 1, TotalStall: 100},
+		{Workload: "b", Requests: 1, TotalStall: 100},
+	}
+	rs := []Result{
+		{Workload: "a", Requests: 1, TotalStall: 50},
+		{Workload: "b", Requests: 1, TotalStall: 200},
+	}
+	g, err := GeoMeanNormalized(rs, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-1.0) > 1e-9 {
+		t.Errorf("geomean of 0.5 and 2.0 = %v, want 1.0", g)
+	}
+	if _, err := GeoMeanNormalized(rs, base[:1]); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := GeoMeanNormalized(nil, nil); err == nil {
+		t.Error("empty sets accepted")
+	}
+	if _, err := GeoMeanNormalized([]Result{{Workload: "a"}}, base[:1]); err == nil {
+		t.Error("zero normalized value accepted")
+	}
+}
+
+// Geometric mean is bounded by min and max of the normalized values.
+func TestGeoMeanBounds(t *testing.T) {
+	prop := func(stalls []uint32) bool {
+		if len(stalls) == 0 {
+			return true
+		}
+		var rs, bs []Result
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, s := range stalls {
+			st := clock.Duration(s%10000) + 1
+			rs = append(rs, Result{Workload: string(rune('a' + i%26)), Requests: 1, TotalStall: st})
+			bs = append(bs, Result{Workload: rs[i].Workload, Requests: 1, TotalStall: 5000})
+			n := rs[i].Normalized(bs[i])
+			lo = math.Min(lo, n)
+			hi = math.Max(hi, n)
+		}
+		g, err := GeoMeanNormalized(rs, bs)
+		if err != nil {
+			return false
+		}
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,374 @@
+// Package thm models the Transparent Hardware Management baseline (Sim et
+// al., MICRO 2014) as the MemPod paper evaluates it (§2, §4, §6).
+//
+// Memory is divided into segments of one fast page plus R slow pages
+// (R = 8 at the paper's 1:8 capacity ratio). Migration is allowed only
+// within a segment: any slow member may be swapped into the segment's
+// single fast slot. One 8-bit competing counter per segment arbitrates: a
+// challenger slow page gains the counter on its own accesses and loses it
+// to accesses of other pages; when the counter crosses the threshold the
+// challenger swaps into the fast slot. Swaps are threshold-triggered
+// events, not interval work.
+package thm
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/clock"
+	"repro/internal/mech"
+	"repro/internal/trace"
+)
+
+// Config holds THM's parameters.
+type Config struct {
+	// Threshold is the competing-counter value that triggers a swap.
+	Threshold uint8
+	// CounterBits bounds the competing counter (paper: 8 bits/segment).
+	CounterBits int
+	// CacheBytes/CacheWays model the on-chip SRT cache holding segment
+	// state (counters + remap); 0 disables the cache model.
+	CacheBytes int
+	CacheWays  int
+}
+
+// DefaultConfig returns the THM parameters used in the comparison.
+func DefaultConfig() Config {
+	return Config{Threshold: 4, CounterBits: 8}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.CounterBits <= 0 || c.CounterBits > 8:
+		return fmt.Errorf("thm: counter width %d", c.CounterBits)
+	case c.Threshold == 0 || uint64(c.Threshold) > (1<<c.CounterBits)-1:
+		return fmt.Errorf("thm: threshold %d does not fit %d-bit counter", c.Threshold, c.CounterBits)
+	case c.CacheBytes < 0:
+		return fmt.Errorf("thm: cache %d bytes", c.CacheBytes)
+	}
+	return nil
+}
+
+// segment packs one segment's state: a 9-slot permutation (4 bits per
+// slot: which member occupies it), the challenger member, and the
+// competing counter.
+//
+// Members: 0 is the segment's fast page; 1..R are its slow pages. Slots
+// use the same numbering for positions. The permutation is the identity
+// until a swap occurs.
+type segment struct {
+	slots      uint64 // 4 bits per slot, slot 0 = fast slot
+	counter    uint8
+	challenger uint8 // member index; 0 = none
+}
+
+const noChallenger = 0
+
+func identitySlots(members int) uint64 {
+	var s uint64
+	for i := 0; i < members; i++ {
+		s |= uint64(i) << (4 * i)
+	}
+	return s
+}
+
+func (s *segment) memberAt(slot int) int {
+	return int(s.slots >> (4 * slot) & 0xF)
+}
+
+func (s *segment) slotOf(member, members int) int {
+	for slot := 0; slot < members; slot++ {
+		if s.memberAt(slot) == member {
+			return slot
+		}
+	}
+	panic("thm: corrupt segment permutation")
+}
+
+func (s *segment) swapSlots(a, b int) {
+	ma, mb := uint64(s.memberAt(a)), uint64(s.memberAt(b))
+	s.slots &^= 0xF<<(4*a) | 0xF<<(4*b)
+	s.slots |= mb<<(4*a) | ma<<(4*b)
+}
+
+// segmentStateBytes models the SRT entry size for the cache: 8-bit
+// counter + 4-bit challenger + 36-bit permutation ≈ 6 bytes, so ten
+// segments share one 64 B block.
+const segmentsPerBlock = 10
+
+// Swap copies are issued in paced chunks so they interleave with demand
+// traffic at the memory controllers (see mech.SwapGlobalChunk).
+const (
+	swapChunks    = 8
+	linesPerChunk = addr.LinesPerPage / swapChunks
+	chunkGap      = 100 * clock.Nanosecond
+)
+
+// swapChunk is one queued unit of copy work between two physical slots.
+// Swaps overlap freely (THM has no central migration engine); chunks issue
+// at their paced start times, ordered globally by a min-heap so channel
+// traffic stays in time order.
+type swapChunk struct {
+	start        clock.Time
+	slotA, slotB addr.Page // physical page slots being exchanged
+	lockA, lockB addr.Page // data pages locked for the copy's duration
+	chunk        uint8
+}
+
+// chunkHeap orders swap chunks by start time.
+type chunkHeap []swapChunk
+
+func (h chunkHeap) Len() int           { return len(h) }
+func (h chunkHeap) Less(i, j int) bool { return h[i].start < h[j].start }
+func (h chunkHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *chunkHeap) Push(x any)        { *h = append(*h, x.(swapChunk)) }
+func (h *chunkHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// THM implements mech.Mechanism.
+type THM struct {
+	cfg      Config
+	backend  *mech.Backend
+	layout   addr.Layout
+	segments []segment
+	members  int                   // 1 + slow:fast ratio
+	locks    map[uint64]clock.Time // flat page -> swap completion
+	cache    *mech.Cache
+	touch    mech.TouchFilter
+	stats    mech.MigStats
+	maxCount uint8
+
+	queue chunkHeap
+}
+
+// New builds a THM over the backend's two-level memory. The slow capacity
+// must be a multiple of the fast capacity (the paper's ratio is 8).
+func New(cfg Config, b *mech.Backend) (*THM, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	l := b.Layout
+	if !l.TwoLevel() {
+		return nil, fmt.Errorf("thm: layout is not two-level")
+	}
+	if l.SlowBytes%l.FastBytes != 0 {
+		return nil, fmt.Errorf("thm: slow capacity not a multiple of fast capacity")
+	}
+	ratio := int(l.SlowBytes / l.FastBytes)
+	if ratio+1 > 16 {
+		return nil, fmt.Errorf("thm: ratio %d exceeds 4-bit member encoding", ratio)
+	}
+	t := &THM{
+		cfg:      cfg,
+		backend:  b,
+		layout:   l,
+		segments: make([]segment, l.FastPages()),
+		members:  ratio + 1,
+		locks:    make(map[uint64]clock.Time),
+		maxCount: uint8(1)<<cfg.CounterBits - 1,
+	}
+	id := identitySlots(t.members)
+	for i := range t.segments {
+		t.segments[i].slots = id
+	}
+	if cfg.CacheBytes > 0 {
+		if cfg.CacheWays <= 0 {
+			cfg.CacheWays = 8
+		}
+		t.cache = mech.NewCache(cfg.CacheBytes, cfg.CacheWays)
+	}
+	return t, nil
+}
+
+// MustNew is New for known-good configurations; it panics on error.
+func MustNew(cfg Config, b *mech.Backend) *THM {
+	t, err := New(cfg, b)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Name implements mech.Mechanism.
+func (t *THM) Name() string { return "THM" }
+
+// Stats implements mech.Mechanism.
+func (t *THM) Stats() mech.MigStats { return t.stats }
+
+// segmentOf decomposes a flat page into (segment, member).
+func (t *THM) segmentOf(p addr.Page) (seg uint64, member int) {
+	fast := uint64(t.layout.FastPages())
+	if uint64(p) < fast {
+		return uint64(p), 0
+	}
+	s := uint64(p) - fast
+	return s % fast, 1 + int(s/fast)
+}
+
+// pageOf is the inverse of segmentOf.
+func (t *THM) pageOf(seg uint64, member int) addr.Page {
+	if member == 0 {
+		return addr.Page(seg)
+	}
+	fast := uint64(t.layout.FastPages())
+	return addr.Page(fast + seg + uint64(member-1)*fast)
+}
+
+// Access implements mech.Mechanism.
+func (t *THM) Access(r *trace.Request, at clock.Time) clock.Time {
+	t.drain(at)
+	page := addr.PageOf(addr.Addr(r.Addr))
+	seg, member := t.segmentOf(page)
+	s := &t.segments[seg]
+
+	start := at
+	if t.cache != nil {
+		block := seg / segmentsPerBlock
+		if t.cache.Access(block) {
+			t.stats.CacheHits++
+		} else {
+			t.stats.CacheMisses++
+			start = t.backend.BookkeepingRead(int(seg%uint64(t.layout.NumPods)), block, start)
+		}
+	}
+	var lockEnd clock.Time
+	if end, locked := t.locks[uint64(page)]; locked {
+		if end > start {
+			lockEnd = end
+			t.stats.LockStalls++
+		} else {
+			delete(t.locks, uint64(page))
+		}
+	}
+
+	slot := s.slotOf(member, t.members)
+	// Competing-counter update, once per page touch; may trigger a swap
+	// *after* this access.
+	trigger := false
+	if t.touch.Touch(r.Core, uint64(page)) {
+		trigger = t.updateCounter(s, member, slot)
+	}
+
+	// Service the request at the member's current slot.
+	slotPage := t.pageOf(seg, slot)
+	pod, f := t.layout.HomeFrame(slotPage)
+	li := int(uint64(addr.LineOf(addr.Addr(r.Addr))) % addr.LinesPerPage)
+	done := clock.Max(t.backend.Line(pod, f, li, r.Write, start), lockEnd)
+
+	if trigger {
+		t.swap(seg, s, slot, start)
+	}
+	return done
+}
+
+// updateCounter applies THM's competing-counter policy for an access by
+// `member` currently residing in `slot`, and reports whether the member
+// just won the fast slot.
+func (t *THM) updateCounter(s *segment, member, slot int) bool {
+	if slot == 0 {
+		// The fast resident defends: its accesses wear the challenger down.
+		if s.counter > 0 {
+			s.counter--
+			if s.counter == 0 {
+				s.challenger = noChallenger
+			}
+		}
+		return false
+	}
+	switch {
+	case int(s.challenger) == member:
+		if s.counter < t.maxCount {
+			s.counter++
+		}
+		if s.counter >= t.cfg.Threshold {
+			s.counter = 0
+			s.challenger = noChallenger
+			return true
+		}
+	case s.counter == 0:
+		s.challenger = uint8(member)
+		s.counter = 1
+	default:
+		s.counter--
+		if s.counter == 0 {
+			s.challenger = noChallenger
+		}
+	}
+	return false
+}
+
+// swap exchanges the fast slot with the winner's slot: the permutation
+// updates immediately, the copy traffic is queued as paced chunks, and
+// both data pages stay locked until the last chunk completes.
+func (t *THM) swap(seg uint64, s *segment, winnerSlot int, at clock.Time) {
+	fastSlotPage := t.pageOf(seg, 0)
+	winnerSlotPage := t.pageOf(seg, winnerSlot)
+	// The data pages being moved are the members occupying those slots.
+	evicted := t.pageOf(seg, s.memberAt(0))
+	winner := t.pageOf(seg, s.memberAt(winnerSlot))
+	s.swapSlots(0, winnerSlot)
+	for ch := 0; ch < swapChunks; ch++ {
+		heap.Push(&t.queue, swapChunk{
+			start: at + clock.Duration(ch)*chunkGap,
+			slotA: fastSlotPage, slotB: winnerSlotPage,
+			lockA: evicted, lockB: winner,
+			chunk: uint8(ch),
+		})
+	}
+	t.stats.PageMigrations++
+	t.drain(at)
+}
+
+// drain executes queued copy chunks whose start time has arrived, in
+// start order.
+func (t *THM) drain(now clock.Time) {
+	for len(t.queue) > 0 && t.queue[0].start <= now {
+		c := heap.Pop(&t.queue).(swapChunk)
+		lo := int(c.chunk) * linesPerChunk
+		end := t.backend.SwapGlobalChunk(c.slotA, c.slotB, lo, lo+linesPerChunk, c.start)
+		t.stats.LineMigrations += 2 * linesPerChunk
+		t.stats.BytesMoved += 2 * linesPerChunk * addr.LineBytes
+		t.stats.GlobalMoveLines += 2 * linesPerChunk
+		if end > t.locks[uint64(c.lockA)] {
+			t.locks[uint64(c.lockA)] = end
+		}
+		if end > t.locks[uint64(c.lockB)] {
+			t.locks[uint64(c.lockB)] = end
+		}
+	}
+}
+
+// CheckInvariants verifies that every segment's slot assignment is a
+// permutation of its members. O(memory); intended for tests.
+func (t *THM) CheckInvariants() error {
+	for i := range t.segments {
+		var seen uint16
+		for slot := 0; slot < t.members; slot++ {
+			m := t.segments[i].memberAt(slot)
+			if m >= t.members {
+				return fmt.Errorf("thm: segment %d slot %d holds invalid member %d", i, slot, m)
+			}
+			if seen&(1<<m) != 0 {
+				return fmt.Errorf("thm: segment %d member %d appears twice", i, m)
+			}
+			seen |= 1 << m
+		}
+	}
+	return nil
+}
+
+// SlotOfPage reports which slot (0 = fast) a flat page currently occupies
+// within its segment, for tests.
+func (t *THM) SlotOfPage(p addr.Page) int {
+	seg, member := t.segmentOf(p)
+	return t.segments[seg].slotOf(member, t.members)
+}
+
+var _ mech.Mechanism = (*THM)(nil)

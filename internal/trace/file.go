@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/clock"
+)
+
+// Binary trace format:
+//
+//	header:  magic "MPT1" (4 bytes), request count (uint64 LE)
+//	records: addr (uint64 LE), time fs (int64 LE), flags (uint8: bit0 =
+//	         write), core (uint8)
+//
+// The format is deliberately trivial: fixed 18-byte records, no
+// compression, so traces can be generated once with cmd/tracegen and
+// replayed byte-identically by every experiment.
+
+const magic = "MPT1"
+
+const recordBytes = 8 + 8 + 1 + 1
+
+// ErrBadTrace reports a malformed trace file.
+var ErrBadTrace = errors.New("trace: malformed trace file")
+
+// Write persists all requests from s to w in the binary trace format and
+// returns the number written.
+func Write(w io.Writer, s Stream) (int, error) {
+	bw := bufio.NewWriter(w)
+	reqs := Collect(s)
+	if _, err := bw.WriteString(magic); err != nil {
+		return 0, err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(reqs)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	var rec [recordBytes]byte
+	for i := range reqs {
+		r := &reqs[i]
+		binary.LittleEndian.PutUint64(rec[0:], r.Addr)
+		binary.LittleEndian.PutUint64(rec[8:], uint64(r.Time))
+		var flags byte
+		if r.Write {
+			flags = 1
+		}
+		rec[16] = flags
+		rec[17] = r.Core
+		if _, err := bw.Write(rec[:]); err != nil {
+			return i, err
+		}
+	}
+	return len(reqs), bw.Flush()
+}
+
+// Read loads a binary trace from r into memory and returns it as a
+// resettable stream.
+func Read(r io.Reader) (*SliceStream, error) {
+	br := bufio.NewReader(r)
+	var hdr [4 + 8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(hdr[:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, hdr[:4])
+	}
+	n := binary.LittleEndian.Uint64(hdr[4:])
+	const maxReasonable = 1 << 32
+	if n > maxReasonable {
+		return nil, fmt.Errorf("%w: request count %d too large", ErrBadTrace, n)
+	}
+	// Allocate incrementally: a corrupt header must not be able to demand
+	// an enormous up-front allocation — capacity grows only as record
+	// bytes actually arrive.
+	const initialCap = 1 << 16
+	capHint := int(n)
+	if capHint > initialCap {
+		capHint = initialCap
+	}
+	reqs := make([]Request, 0, capHint)
+	var rec [recordBytes]byte
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("%w: truncated at record %d: %v", ErrBadTrace, i, err)
+		}
+		reqs = append(reqs, Request{
+			Addr:  binary.LittleEndian.Uint64(rec[0:]),
+			Time:  clock.Time(binary.LittleEndian.Uint64(rec[8:])),
+			Write: rec[16]&1 != 0,
+			Core:  rec[17],
+		})
+	}
+	return NewSliceStream(reqs), nil
+}

@@ -1,0 +1,41 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead hardens the binary trace parser: arbitrary input must either
+// parse into a well-formed stream or return an error — never panic, and
+// never allocate absurd amounts for a corrupt header.
+func FuzzRead(f *testing.F) {
+	// Seed with a valid two-record trace and a few corruptions.
+	var good bytes.Buffer
+	if _, err := Write(&good, NewSliceStream([]Request{
+		{Addr: 64, Time: 10, Write: true, Core: 1},
+		{Addr: 128, Time: 20},
+	})); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("MPT1"))
+	f.Add([]byte("MPT1\xff\xff\xff\xff\xff\xff\xff\xff"))
+	f.Add(good.Bytes()[:len(good.Bytes())-3])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successful parse must yield exactly Len() well-formed records.
+		n := 0
+		var r Request
+		for s.Next(&r) {
+			n++
+		}
+		if n != s.Len() {
+			t.Fatalf("stream yielded %d records, Len() says %d", n, s.Len())
+		}
+	})
+}

@@ -1,0 +1,132 @@
+// Package trace defines the memory-request records consumed by the
+// simulator and streams for producing them.
+//
+// A trace is the sequence of last-level-cache misses of an 8-core
+// multi-programmed workload, in non-decreasing timestamp order. The paper
+// captures such traces from SPEC CPU2006 with Sniper; this repository
+// generates equivalent synthetic traces (package workload) and can persist
+// them in a compact binary format (package trace, file.go).
+package trace
+
+import "repro/internal/clock"
+
+// Request is one main-memory request: a 64-byte line access issued at a
+// point in simulated time by one of the cores.
+type Request struct {
+	Addr  uint64     // byte address in the flat physical address space
+	Time  clock.Time // issue time (LLC-miss time) in femtoseconds
+	Write bool       // true for writeback, false for demand read
+	Core  uint8      // issuing core, [0, 8) in the paper's setup
+}
+
+// Stream produces requests one at a time. Next reports false when the
+// stream is exhausted. Implementations are single-use unless they document
+// otherwise.
+type Stream interface {
+	// Next fills *r with the next request and reports whether one existed.
+	Next(r *Request) bool
+}
+
+// SliceStream adapts an in-memory request slice to a Stream.
+type SliceStream struct {
+	reqs []Request
+	pos  int
+}
+
+// NewSliceStream returns a Stream over reqs. The slice is not copied.
+func NewSliceStream(reqs []Request) *SliceStream {
+	return &SliceStream{reqs: reqs}
+}
+
+// Next implements Stream.
+func (s *SliceStream) Next(r *Request) bool {
+	if s.pos >= len(s.reqs) {
+		return false
+	}
+	*r = s.reqs[s.pos]
+	s.pos++
+	return true
+}
+
+// Reset rewinds the stream to the beginning, making it reusable.
+func (s *SliceStream) Reset() { s.pos = 0 }
+
+// Len returns the total number of requests in the stream.
+func (s *SliceStream) Len() int { return len(s.reqs) }
+
+// Collect drains a stream into a slice. It is intended for tests and for
+// experiments that replay the same trace under several mechanisms.
+func Collect(s Stream) []Request {
+	var out []Request
+	var r Request
+	for s.Next(&r) {
+		out = append(out, r)
+	}
+	return out
+}
+
+// LimitStream caps an underlying stream at n requests.
+type LimitStream struct {
+	src  Stream
+	left int
+}
+
+// NewLimitStream returns a Stream yielding at most n requests from src.
+func NewLimitStream(src Stream, n int) *LimitStream {
+	return &LimitStream{src: src, left: n}
+}
+
+// Next implements Stream.
+func (l *LimitStream) Next(r *Request) bool {
+	if l.left <= 0 {
+		return false
+	}
+	if !l.src.Next(r) {
+		l.left = 0
+		return false
+	}
+	l.left--
+	return true
+}
+
+// MergeStream merges several timestamp-ordered streams into one
+// timestamp-ordered stream. It is how per-core generators compose into an
+// 8-core multi-programmed trace.
+type MergeStream struct {
+	srcs    []Stream
+	heads   []Request
+	present []bool
+}
+
+// NewMergeStream returns a merged Stream over srcs. Each source must be
+// individually ordered by Time.
+func NewMergeStream(srcs ...Stream) *MergeStream {
+	m := &MergeStream{
+		srcs:    srcs,
+		heads:   make([]Request, len(srcs)),
+		present: make([]bool, len(srcs)),
+	}
+	for i, s := range srcs {
+		m.present[i] = s.Next(&m.heads[i])
+	}
+	return m
+}
+
+// Next implements Stream.
+func (m *MergeStream) Next(r *Request) bool {
+	best := -1
+	for i, ok := range m.present {
+		if !ok {
+			continue
+		}
+		if best < 0 || m.heads[i].Time < m.heads[best].Time {
+			best = i
+		}
+	}
+	if best < 0 {
+		return false
+	}
+	*r = m.heads[best]
+	m.present[best] = m.srcs[best].Next(&m.heads[best])
+	return true
+}

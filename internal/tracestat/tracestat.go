@@ -1,0 +1,163 @@
+// Package tracestat computes the workload-characterization statistics used
+// to tune and sanity-check traces: footprint, write share, request rate,
+// per-interval uniqueness (the quantity §3's interval arguments hinge on),
+// and page-touch concentration.
+package tracestat
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/addr"
+	"repro/internal/clock"
+	"repro/internal/trace"
+)
+
+// Summary characterizes one trace.
+type Summary struct {
+	Requests  int
+	Writes    int
+	Span      clock.Duration // last arrival - first arrival
+	Footprint int            // distinct pages touched
+	Cores     int            // distinct cores seen
+
+	// HomeFastShare is the fraction of accesses whose page's home is in
+	// fast memory under the default layout (what a no-migration system
+	// would serve from HBM).
+	HomeFastShare float64
+
+	// Interval statistics over fixed windows of IntervalReqs requests:
+	// how much of one interval's page set recurs in the next. Low overlap
+	// is what defeats count-based prediction (§3).
+	IntervalReqs    int
+	Intervals       int
+	MeanUniquePages float64 // distinct pages per interval
+	MeanOverlap     float64 // |pages_i ∩ pages_{i+1}| / |pages_{i+1}|
+
+	// Touch concentration: share of accesses landing on the most-touched
+	// 1% and 10% of pages.
+	Top1PctShare  float64
+	Top10PctShare float64
+}
+
+// Analyze consumes the stream and computes its summary, slicing intervals
+// at intervalReqs requests (pass 0 for the paper's 5500).
+func Analyze(s trace.Stream, intervalReqs int) (Summary, error) {
+	if intervalReqs <= 0 {
+		intervalReqs = 5500
+	}
+	sum := Summary{IntervalReqs: intervalReqs}
+	layout := addr.DefaultLayout()
+
+	counts := make(map[addr.Page]int)
+	cores := make(map[uint8]bool)
+	var first, last clock.Time
+	firstSet := false
+
+	cur := make(map[addr.Page]bool)
+	var prev map[addr.Page]bool
+	var uniqueSum, overlapSum float64
+	overlapN := 0
+
+	flush := func() {
+		sum.Intervals++
+		uniqueSum += float64(len(cur))
+		if prev != nil && len(cur) > 0 {
+			inter := 0
+			for p := range cur {
+				if prev[p] {
+					inter++
+				}
+			}
+			overlapSum += float64(inter) / float64(len(cur))
+			overlapN++
+		}
+		prev = cur
+		cur = make(map[addr.Page]bool)
+	}
+
+	var r trace.Request
+	n := 0
+	for s.Next(&r) {
+		p := addr.PageOf(addr.Addr(r.Addr))
+		counts[p]++
+		cur[p] = true
+		cores[r.Core] = true
+		if r.Write {
+			sum.Writes++
+		}
+		if layout.IsFast(p) {
+			sum.HomeFastShare++
+		}
+		if !firstSet {
+			first, firstSet = r.Time, true
+		}
+		last = r.Time
+		n++
+		if n%intervalReqs == 0 {
+			flush()
+		}
+	}
+	if n == 0 {
+		return sum, fmt.Errorf("tracestat: empty trace")
+	}
+	sum.Requests = n
+	sum.Span = last - first
+	sum.Footprint = len(counts)
+	sum.Cores = len(cores)
+	sum.HomeFastShare /= float64(n)
+	if sum.Intervals > 0 {
+		sum.MeanUniquePages = uniqueSum / float64(sum.Intervals)
+	}
+	if overlapN > 0 {
+		sum.MeanOverlap = overlapSum / float64(overlapN)
+	}
+
+	// Concentration.
+	all := make([]int, 0, len(counts))
+	for _, c := range counts {
+		all = append(all, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(all)))
+	cum := 0
+	top1 := (len(all) + 99) / 100
+	top10 := (len(all) + 9) / 10
+	for i, c := range all {
+		cum += c
+		if i+1 == top1 {
+			sum.Top1PctShare = float64(cum) / float64(n)
+		}
+		if i+1 == top10 {
+			sum.Top10PctShare = float64(cum) / float64(n)
+			break
+		}
+	}
+	return sum, nil
+}
+
+// RatePer50us returns the average requests per 50 µs window — the paper's
+// calibration quantity (~5500).
+func (s Summary) RatePer50us() float64 {
+	if s.Span <= 0 {
+		return 0
+	}
+	return float64(s.Requests) / (float64(s.Span) / float64(50*clock.Microsecond))
+}
+
+// String renders the summary as an aligned block.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "requests            %d (%.1f%% writes)\n",
+		s.Requests, 100*float64(s.Writes)/float64(s.Requests))
+	fmt.Fprintf(&b, "span                %v (%.0f requests per 50us)\n", s.Span, s.RatePer50us())
+	fmt.Fprintf(&b, "footprint           %d pages (%.1f MB), %d cores\n",
+		s.Footprint, float64(s.Footprint)*addr.PageBytes/(1<<20), s.Cores)
+	fmt.Fprintf(&b, "home-fast share     %.1f%%\n", 100*s.HomeFastShare)
+	fmt.Fprintf(&b, "intervals           %d x %d requests\n", s.Intervals, s.IntervalReqs)
+	fmt.Fprintf(&b, "unique pages/intvl  %.0f\n", s.MeanUniquePages)
+	fmt.Fprintf(&b, "interval overlap    %.1f%%\n", 100*s.MeanOverlap)
+	fmt.Fprintf(&b, "top 1%% / 10%% share  %.1f%% / %.1f%%\n",
+		100*s.Top1PctShare, 100*s.Top10PctShare)
+	return b.String()
+}

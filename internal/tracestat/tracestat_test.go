@@ -1,0 +1,87 @@
+package tracestat
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func TestAnalyzeSynthetic(t *testing.T) {
+	// Hand-built trace: 4 requests on 2 pages, one write.
+	reqs := []trace.Request{
+		{Addr: 0, Time: 0},
+		{Addr: 64, Time: 100 * clock.Nanosecond},
+		{Addr: 4096, Time: 200 * clock.Nanosecond, Write: true, Core: 1},
+		{Addr: 0, Time: 50 * clock.Microsecond},
+	}
+	s, err := Analyze(trace.NewSliceStream(reqs), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Requests != 4 || s.Writes != 1 || s.Footprint != 2 || s.Cores != 2 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.Span != 50*clock.Microsecond {
+		t.Errorf("span %v", s.Span)
+	}
+	if s.Intervals != 2 {
+		t.Errorf("intervals %d, want 2", s.Intervals)
+	}
+	// Interval 1: pages {0, 0}, wait: reqs 1-2 -> pages {0}; interval 2:
+	// {page1, page0}. Overlap of interval 2 with 1: page0 in both -> 1/2.
+	if s.MeanOverlap != 0.5 {
+		t.Errorf("overlap %v, want 0.5", s.MeanOverlap)
+	}
+	if s.HomeFastShare != 1.0 {
+		t.Errorf("home fast share %v (all pages < 1GB)", s.HomeFastShare)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	if _, err := Analyze(trace.NewSliceStream(nil), 0); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestAnalyzeWorkloadShapes(t *testing.T) {
+	// A streaming workload has near-zero interval overlap; a hot-set
+	// workload has substantial overlap and high concentration.
+	stream, _ := workload.Homogeneous("bwaves")
+	hot, _ := workload.Homogeneous("cactus")
+
+	ss, err := Analyze(stream.MustStream(60_000, 3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := Analyze(hot.MustStream(60_000, 3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.MeanOverlap >= hs.MeanOverlap {
+		t.Errorf("streaming overlap %.2f not below hot-set overlap %.2f",
+			ss.MeanOverlap, hs.MeanOverlap)
+	}
+	if hs.Top10PctShare < 0.4 {
+		t.Errorf("hot-set top-10%% share %.2f suspiciously low", hs.Top10PctShare)
+	}
+	if hs.RatePer50us() < 1000 {
+		t.Errorf("rate %.0f per 50us too low", hs.RatePer50us())
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	w, _ := workload.Mix(1)
+	s, err := Analyze(w.MustStream(20_000, 1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.String()
+	for _, want := range []string{"requests", "footprint", "interval overlap", "top 1%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

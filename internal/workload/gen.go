@@ -1,0 +1,190 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/addr"
+	"repro/internal/clock"
+	"repro/internal/trace"
+)
+
+// coreSlots is the number of address-space slots pages interleave over:
+// page allocation gives core c the global pages {c, c+8, c+16, ...} in its
+// local order, so every core receives an equal share of the fast region
+// (the first FastPages of the flat space), as an OS would arrange for
+// non-sharing multi-programmed workloads.
+const coreSlots = 8
+
+// Generator produces the synthetic LLC-miss stream of one benchmark
+// instance on one core. It implements trace.Stream and never ends; wrap it
+// with trace.NewLimitStream or use the Workload helpers.
+type Generator struct {
+	prof Profile
+	core uint8
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	now  clock.Time
+
+	hotSeed     uint64   // scatters hot ranks over the footprint
+	hotGen      []uint32 // per-rank generation; bumping re-rolls the page
+	driftCursor int      // next rank band to re-roll
+
+	flashSlots  []int // current flash pages (core-local indices)
+	flashCursor int   // next slot to re-roll
+	sinceFlash  int   // touches since the last re-roll
+	touchCount  int   // page touches so far (drives drift and sweep advance)
+	front       int   // sweep-window front page
+	sinceAdv    int
+
+	curPage   addr.Page
+	curLine   int
+	linesLeft int
+}
+
+// NewGenerator returns a generator for profile p on the given core.
+func NewGenerator(p Profile, core int, seed int64) (*Generator, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if core < 0 || core >= coreSlots {
+		return nil, fmt.Errorf("workload: core %d out of [0,%d)", core, coreSlots)
+	}
+	maxFootprint := int(9 << 30 / addr.PageBytes / coreSlots)
+	if p.FootprintPages > maxFootprint {
+		return nil, fmt.Errorf("workload %s: footprint %d exceeds per-core max %d",
+			p.Name, p.FootprintPages, maxFootprint)
+	}
+	g := &Generator{
+		prof: p,
+		core: uint8(core),
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+	if p.HotFrac > 0 {
+		g.zipf = rand.NewZipf(g.rng, p.ZipfS, 1, uint64(p.HotPages-1))
+		g.hotSeed = uint64(seed)*0x9E3779B97F4A7C15 + uint64(core)
+		g.hotGen = make([]uint32, p.HotPages)
+	}
+	if p.StreamFrac > 0 {
+		// Sweeps start at a seeded position so the stream does not begin
+		// inside the fast region every core allocates first.
+		g.front = g.rng.Intn(p.FootprintPages)
+	}
+	if p.FlashFrac > 0 {
+		g.flashSlots = make([]int, p.FlashPages)
+		for i := range g.flashSlots {
+			g.flashSlots[i] = g.rng.Intn(p.FootprintPages)
+		}
+	}
+	return g, nil
+}
+
+// globalPage maps a core-local page index to the flat address space.
+func (g *Generator) globalPage(local int) addr.Page {
+	return addr.Page(uint64(local)*coreSlots + uint64(g.core))
+}
+
+// pickPage chooses the next page touch according to the engine mixture.
+func (g *Generator) pickPage() addr.Page {
+	p := &g.prof
+	g.touchCount++
+
+	// Hot-set drift: every DriftPeriod touches, the next band of
+	// DriftStep ranks is re-rolled to fresh pages (a phase change for
+	// that slice of the working set). Surviving ranks keep their pages
+	// and their traffic, so newly hot pages must displace still-warm
+	// incumbents — the dynamic that separates adaptive tracking from
+	// threshold- and epoch-lagged schemes.
+	if p.DriftPeriod > 0 && g.hotGen != nil && g.touchCount%p.DriftPeriod == 0 {
+		for i := 0; i < p.DriftStep && i < p.HotPages; i++ {
+			g.hotGen[(g.driftCursor+i)%p.HotPages]++
+		}
+		g.driftCursor = (g.driftCursor + p.DriftStep) % p.HotPages
+	}
+
+	// Flash slot re-roll.
+	if g.flashSlots != nil {
+		g.sinceFlash++
+		if g.sinceFlash >= p.FlashPeriod {
+			g.sinceFlash = 0
+			g.flashSlots[g.flashCursor] = g.rng.Intn(p.FootprintPages)
+			g.flashCursor = (g.flashCursor + 1) % len(g.flashSlots)
+		}
+	}
+
+	u := g.rng.Float64()
+	switch {
+	case u < p.FlashFrac:
+		return g.globalPage(g.flashSlots[g.rng.Intn(len(g.flashSlots))])
+	case u < p.FlashFrac+p.StreamFrac:
+		// Sweep engine: the window advances steadily through the
+		// footprint; accesses spread over the active window.
+		g.sinceAdv++
+		if g.sinceAdv >= p.SweepAdvance {
+			g.sinceAdv = 0
+			g.front = (g.front + 1) % p.FootprintPages
+		}
+		off := 0
+		if p.SweepWindow > 1 {
+			off = g.rng.Intn(p.SweepWindow)
+		}
+		return g.globalPage((g.front + off) % p.FootprintPages)
+	case u < p.FlashFrac+p.StreamFrac+p.HotFrac:
+		return g.globalPage(g.hotLocal(int(g.zipf.Uint64())))
+	default:
+		return g.globalPage(g.rng.Intn(p.FootprintPages))
+	}
+}
+
+// hotLocal maps a hot rank (at its current generation) to a core-local
+// page via a seeded hash. Hashed placement scatters each core's hot data
+// independently over its footprint, the way real allocations land: hot
+// pages of different cores collide in THM/CAMEO segments with Poisson
+// probability, and most of the hot set starts in slow memory (the fast
+// region is only a fraction of the footprint), so migration has real work
+// to do.
+func (g *Generator) hotLocal(rank int) int {
+	x := uint64(rank)<<32 | uint64(g.hotGen[rank])
+	x = x*0x9E3779B97F4A7C15 ^ g.hotSeed
+	x ^= x >> 29
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 32
+	return int(x % uint64(g.prof.FootprintPages))
+}
+
+// Next implements trace.Stream. The stream is infinite.
+//
+// Requests arrive in bursts: an out-of-order core exposes the misses of
+// one page touch almost back-to-back (memory-level parallelism), then goes
+// quiet until the next touch. The inter-touch gap preserves the profile's
+// mean request rate.
+func (g *Generator) Next(r *trace.Request) bool {
+	if g.linesLeft == 0 {
+		g.curPage = g.pickPage()
+		n := g.prof.LinesPerTouch
+		// Touch length jitters around the profile value.
+		if n > 1 {
+			n = 1 + g.rng.Intn(2*n-1)
+		}
+		g.linesLeft = n
+		maxStart := addr.LinesPerPage - g.linesLeft
+		g.curLine = 0
+		if maxStart > 0 {
+			g.curLine = g.rng.Intn(maxStart + 1)
+		}
+		// The whole touch's budget lands as one inter-burst gap.
+		budget := g.prof.GapMean * clock.Duration(n)
+		g.now += budget/2 + clock.Duration(g.rng.Int63n(int64(budget)))
+	} else {
+		// Intra-burst spacing: successive misses issue at core speed.
+		g.now += clock.Duration(2+g.rng.Int63n(5)) * clock.Nanosecond
+	}
+
+	r.Addr = uint64(g.curPage.Base()) + uint64(g.curLine)*addr.LineBytes
+	r.Time = g.now
+	r.Write = g.rng.Float64() < g.prof.WriteFrac
+	r.Core = g.core
+	g.curLine++
+	g.linesLeft--
+	return true
+}

@@ -1,0 +1,390 @@
+package workload
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/clock"
+	"repro/internal/trace"
+)
+
+func TestAllProfilesValidate(t *testing.T) {
+	for _, name := range Names() {
+		p, ok := ByName(name)
+		if !ok {
+			t.Fatalf("ByName(%q) missing", name)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if len(Names()) != 17 {
+		t.Errorf("profile count %d, want 17 (Table 3)", len(Names()))
+	}
+}
+
+func TestProfileValidateRejects(t *testing.T) {
+	good, _ := ByName("mcf")
+	bad := []func(p *Profile){
+		func(p *Profile) { p.Name = "" },
+		func(p *Profile) { p.FootprintPages = 0 },
+		func(p *Profile) { p.HotPages = p.FootprintPages + 1 },
+		func(p *Profile) { p.HotFrac = 0.9; p.StreamFrac = 0.9 },
+		func(p *Profile) { p.ZipfS = 1.0 },
+		func(p *Profile) { p.LinesPerTouch = 0 },
+		func(p *Profile) { p.LinesPerTouch = 40 },
+		func(p *Profile) { p.WriteFrac = 1.5 },
+		func(p *Profile) { p.GapMean = 0 },
+	}
+	for i, mutate := range bad {
+		p := good
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestLibquantumFitsInFastMemory(t *testing.T) {
+	// The paper's libquantum observation requires the whole 8-core
+	// working set to fit inside 1 GB of fast memory.
+	p, _ := ByName("libquantum")
+	totalBytes := uint64(p.FootprintPages) * 8 * addr.PageBytes
+	if totalBytes >= 1<<30 {
+		t.Errorf("libquantum 8-core footprint %d MB does not fit in 1 GB HBM",
+			totalBytes>>20)
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	p, _ := ByName("mcf")
+	run := func() []trace.Request {
+		g, err := NewGenerator(p, 3, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return trace.Collect(trace.NewLimitStream(g, 2000))
+	}
+	if !reflect.DeepEqual(run(), run()) {
+		t.Fatal("generator is not deterministic")
+	}
+}
+
+func TestGeneratorRespectsCoreInterleaving(t *testing.T) {
+	p, _ := ByName("gcc")
+	for core := 0; core < 8; core++ {
+		g, err := NewGenerator(p, core, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs := trace.Collect(trace.NewLimitStream(g, 500))
+		for _, r := range reqs {
+			pg := addr.PageOf(addr.Addr(r.Addr))
+			if int(uint64(pg)%8) != core {
+				t.Fatalf("core %d touched page %d outside its slot", core, pg)
+			}
+			if r.Core != uint8(core) {
+				t.Fatalf("request core field %d, want %d", r.Core, core)
+			}
+		}
+	}
+}
+
+func TestGeneratorTimesMonotonic(t *testing.T) {
+	p, _ := ByName("bwaves")
+	g, _ := NewGenerator(p, 0, 1)
+	var prev clock.Time
+	var r trace.Request
+	for i := 0; i < 10000; i++ {
+		g.Next(&r)
+		if r.Time <= prev {
+			t.Fatalf("time not strictly increasing at %d", i)
+		}
+		prev = r.Time
+	}
+}
+
+func TestGeneratorStaysInFootprint(t *testing.T) {
+	p, _ := ByName("xalanc")
+	g, _ := NewGenerator(p, 2, 5)
+	var r trace.Request
+	for i := 0; i < 20000; i++ {
+		g.Next(&r)
+		pg := addr.PageOf(addr.Addr(r.Addr))
+		local := int(uint64(pg) / 8)
+		if local >= p.FootprintPages {
+			t.Fatalf("access outside footprint: local page %d >= %d", local, p.FootprintPages)
+		}
+	}
+}
+
+func TestGeneratorRejectsBadArgs(t *testing.T) {
+	p, _ := ByName("gcc")
+	if _, err := NewGenerator(p, -1, 1); err == nil {
+		t.Error("negative core accepted")
+	}
+	if _, err := NewGenerator(p, 8, 1); err == nil {
+		t.Error("core 8 accepted")
+	}
+	p.FootprintPages = 1 << 30
+	if _, err := NewGenerator(p, 0, 1); err == nil {
+		t.Error("oversized footprint accepted")
+	}
+	var zero Profile
+	if _, err := NewGenerator(zero, 0, 1); err == nil {
+		t.Error("zero profile accepted")
+	}
+}
+
+func TestHotSetSkew(t *testing.T) {
+	// A hot-set benchmark must concentrate accesses: the top 10% of pages
+	// by count should hold well over half of all accesses.
+	p, _ := ByName("cactus")
+	g, _ := NewGenerator(p, 0, 11)
+	counts := map[addr.Page]int{}
+	var r trace.Request
+	total := 60000
+	for i := 0; i < total; i++ {
+		g.Next(&r)
+		counts[addr.PageOf(addr.Addr(r.Addr))]++
+	}
+	// Count accesses on pages with >= 20 touches as "hot traffic".
+	hot := 0
+	for _, c := range counts {
+		if c >= 20 {
+			hot += c
+		}
+	}
+	if frac := float64(hot) / float64(total); frac < 0.5 {
+		t.Errorf("hot-page traffic fraction %.2f, want >= 0.5", frac)
+	}
+}
+
+func TestStreamingCoversFreshPages(t *testing.T) {
+	// A streaming benchmark must keep touching new pages: distinct pages
+	// in the second half should be comparable to the first half.
+	p, _ := ByName("bwaves")
+	g, _ := NewGenerator(p, 0, 13)
+	half := 30000
+	seen1, seen2 := map[addr.Page]bool{}, map[addr.Page]bool{}
+	var r trace.Request
+	for i := 0; i < 2*half; i++ {
+		g.Next(&r)
+		pg := addr.PageOf(addr.Addr(r.Addr))
+		if i < half {
+			seen1[pg] = true
+		} else {
+			seen2[pg] = true
+		}
+	}
+	overlap := 0
+	for pg := range seen2 {
+		if seen1[pg] {
+			overlap++
+		}
+	}
+	if f := float64(overlap) / float64(len(seen2)); f > 0.3 {
+		t.Errorf("streaming halves overlap %.2f, want < 0.3", f)
+	}
+}
+
+func TestHomogeneous(t *testing.T) {
+	w, err := Homogeneous("lbm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Homogeneous || w.Name != "lbm" {
+		t.Fatal("workload metadata wrong")
+	}
+	for _, b := range w.Benchmarks {
+		if b != "lbm" {
+			t.Fatal("non-homogeneous cores")
+		}
+	}
+	if _, err := Homogeneous("nope"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestMixes(t *testing.T) {
+	for i := 1; i <= 12; i++ {
+		w, err := Mix(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Homogeneous {
+			t.Errorf("mix%d flagged homogeneous", i)
+		}
+		for _, b := range w.Benchmarks {
+			if _, ok := ByName(b); !ok {
+				t.Errorf("mix%d references unknown benchmark %q", i, b)
+			}
+		}
+	}
+	if _, err := Mix(0); err == nil {
+		t.Error("mix 0 accepted")
+	}
+	if _, err := Mix(13); err == nil {
+		t.Error("mix 13 accepted")
+	}
+}
+
+func TestAllWorkloads(t *testing.T) {
+	all := All()
+	if len(all) != 27 {
+		t.Fatalf("All() = %d workloads, want 27 (15 homogeneous + 12 mixes)", len(all))
+	}
+	names := map[string]bool{}
+	for _, w := range all {
+		if names[w.Name] {
+			t.Errorf("duplicate workload %q", w.Name)
+		}
+		names[w.Name] = true
+	}
+	if len(HomogeneousNames()) != 15 {
+		t.Errorf("homogeneous count %d, want 15", len(HomogeneousNames()))
+	}
+	if len(MixTable()) != 12 {
+		t.Errorf("mix table size %d, want 12", len(MixTable()))
+	}
+}
+
+func TestWorkloadStreamMergesAllCores(t *testing.T) {
+	w, _ := Mix(5)
+	s, err := w.Stream(8000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := trace.Collect(s)
+	if len(reqs) != 8000 {
+		t.Fatalf("stream length %d", len(reqs))
+	}
+	cores := map[uint8]int{}
+	var prev clock.Time
+	for i, r := range reqs {
+		cores[r.Core]++
+		if r.Time < prev {
+			t.Fatalf("merged trace out of order at %d", i)
+		}
+		prev = r.Time
+	}
+	if len(cores) != 8 {
+		t.Errorf("only %d cores present", len(cores))
+	}
+}
+
+func TestWorkloadStreamDeterministic(t *testing.T) {
+	w, _ := Homogeneous("xalanc")
+	a := trace.Collect(w.MustStream(5000, 42))
+	b := trace.Collect(w.MustStream(5000, 42))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("workload stream not deterministic")
+	}
+	c := trace.Collect(w.MustStream(5000, 43))
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestAggregateRequestRate(t *testing.T) {
+	// The paper calibrates ~5500 requests per 50 µs window across the
+	// 8-core workload. Check the average over all workloads is in a
+	// sensible band (intensity varies per benchmark).
+	var rates []float64
+	for _, w := range All() {
+		s := w.MustStream(20000, 1)
+		reqs := trace.Collect(s)
+		span := reqs[len(reqs)-1].Time - reqs[0].Time
+		perWindow := float64(len(reqs)) / (float64(span) / float64(50*clock.Microsecond))
+		rates = append(rates, perWindow)
+	}
+	var sum float64
+	for _, r := range rates {
+		sum += r
+	}
+	avg := sum / float64(len(rates))
+	if avg < 2500 || avg > 11000 {
+		t.Errorf("average requests per 50us = %.0f, want within [2500, 11000]", avg)
+	}
+}
+
+func TestFlashEngineChurn(t *testing.T) {
+	// Flash slots must re-roll: the set of flash-hot pages in the first
+	// third of a long trace should differ from the last third.
+	p, _ := ByName("cactus")
+	if p.FlashFrac <= 0 {
+		t.Skip("profile has no flash engine")
+	}
+	g, _ := NewGenerator(p, 0, 21)
+	counts := func(n int) map[addr.Page]int {
+		out := map[addr.Page]int{}
+		var r trace.Request
+		for i := 0; i < n; i++ {
+			g.Next(&r)
+			out[addr.PageOf(addr.Addr(r.Addr))]++
+		}
+		return out
+	}
+	early := counts(60000)
+	counts(60000) // gap
+	late := counts(60000)
+	top := func(m map[addr.Page]int, k int) map[addr.Page]bool {
+		type pc struct {
+			p addr.Page
+			c int
+		}
+		var all []pc
+		for p, c := range m {
+			all = append(all, pc{p, c})
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].c > all[j].c })
+		if len(all) > k {
+			all = all[:k]
+		}
+		out := map[addr.Page]bool{}
+		for _, e := range all {
+			out[e.p] = true
+		}
+		return out
+	}
+	te, tl := top(early, 30), top(late, 30)
+	overlap := 0
+	for p := range tl {
+		if te[p] {
+			overlap++
+		}
+	}
+	// Heads persist but flash churns: overlap must be neither total nor zero.
+	if overlap == len(tl) {
+		t.Errorf("top-30 fully stable (%d/%d): flash churn not visible", overlap, len(tl))
+	}
+	if overlap == 0 {
+		t.Error("top-30 fully churned: stable head missing")
+	}
+}
+
+func TestProfileEngineFractionsValid(t *testing.T) {
+	for _, name := range Names() {
+		p, _ := ByName(name)
+		total := p.HotFrac + p.StreamFrac + p.FlashFrac
+		if total > 1.0001 {
+			t.Errorf("%s: engine fractions sum to %.2f", name, total)
+		}
+	}
+}
+
+func TestFlashValidation(t *testing.T) {
+	p, _ := ByName("cactus")
+	p.FlashFrac = 0.2
+	p.FlashPages = 0
+	if err := p.Validate(); err == nil {
+		t.Error("flash without slots accepted")
+	}
+	p.FlashPages = 4
+	p.FlashPeriod = 0
+	if err := p.Validate(); err == nil {
+		t.Error("flash without period accepted")
+	}
+}

@@ -1,0 +1,245 @@
+package mempod
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/addr"
+	"repro/internal/cameo"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/hma"
+	"repro/internal/mech"
+	"repro/internal/memsys"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/thm"
+	"repro/internal/workload"
+)
+
+// Mechanism selects the memory-management scheme for a run.
+type Mechanism string
+
+// The mechanisms and reference configurations of the paper's evaluation.
+const (
+	MechMemPod  Mechanism = "MemPod"   // the paper's contribution (§5)
+	MechHMA     Mechanism = "HMA"      // OS-driven interval migration baseline
+	MechTHM     Mechanism = "THM"      // segment/competing-counter baseline
+	MechCAMEO   Mechanism = "CAMEO"    // line-granularity event-swap baseline
+	MechTLM     Mechanism = "TLM"      // two-level memory, no migration
+	MechHBMOnly Mechanism = "HBM-only" // 9 GB of stacked memory, no DDR
+	MechDDROnly Mechanism = "DDR-only" // 9 GB of off-chip memory, no HBM
+)
+
+// Mechanisms lists every supported Mechanism value.
+func Mechanisms() []Mechanism {
+	return []Mechanism{MechMemPod, MechHMA, MechTHM, MechCAMEO, MechTLM, MechHBMOnly, MechDDROnly}
+}
+
+// Duration re-exports the simulator's femtosecond time unit for options.
+type Duration = clock.Duration
+
+// Time-unit constants for building Options durations.
+const (
+	Nanosecond  = clock.Nanosecond
+	Microsecond = clock.Microsecond
+	Millisecond = clock.Millisecond
+)
+
+// MemPodOptions tunes the MemPod mechanism (§6.3.1 design space).
+// Zero values select the paper's design point.
+type MemPodOptions struct {
+	Interval    Duration // epoch length (default 50 µs)
+	Counters    int      // MEA entries per pod (default 64)
+	CounterBits int      // saturating counter width (default 2)
+	CacheBytes  int      // remap-cache capacity; 0 disables the cache model
+	// UseFullCounters swaps the MEA unit for exact per-page counters —
+	// the tracking ablation, not a buildable design point.
+	UseFullCounters bool
+}
+
+// HMAOptions tunes the HMA baseline. Zero values select the paper's
+// parameters (100 ms interval, 7 ms sort), which require correspondingly
+// long traces; see exp.Config for the scaled experiment defaults.
+type HMAOptions struct {
+	Interval      Duration
+	SortStall     Duration
+	MaxMigrations int
+	CacheBytes    int
+}
+
+// Options configures one simulation run.
+type Options struct {
+	// Mechanism picks the management scheme (default MechMemPod).
+	Mechanism Mechanism
+	// Requests is the trace length (default 500 000).
+	Requests int
+	// Seed makes the run reproducible (default 42).
+	Seed int64
+	// FutureMemories selects the §6.3.4 technology point: 4 GHz HBM and
+	// DDR4-2400 instead of the baseline parts.
+	FutureMemories bool
+	// Window caps outstanding requests (default sim.DefaultWindow;
+	// negative = unlimited).
+	Window int
+
+	MemPod MemPodOptions
+	HMA    HMAOptions
+}
+
+// Result is the outcome of a run. AMMAT() reports the paper's headline
+// metric in nanoseconds.
+type Result = stats.Result
+
+// Workloads returns the names of the paper's 27 workloads: 15 homogeneous
+// benchmark names plus mix1..mix12 (Table 3).
+func Workloads() []string {
+	var out []string
+	for _, w := range workload.All() {
+		out = append(out, w.Name)
+	}
+	return out
+}
+
+// Run simulates one workload under one mechanism and returns its metrics.
+// The workload is a benchmark name ("mcf"), a mix ("mix5"), per Workloads.
+func Run(workloadName string, o Options) (Result, error) {
+	w, err := lookupWorkload(workloadName)
+	if err != nil {
+		return Result{}, err
+	}
+	if o.Requests == 0 {
+		o.Requests = 500_000
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.Mechanism == "" {
+		o.Mechanism = MechMemPod
+	}
+
+	fast, slow := dram.HBM(), dram.DDR4_1600()
+	if o.FutureMemories {
+		fast, slow = dram.HBMOverclocked(), dram.DDR4_2400()
+	}
+	layout := addr.DefaultLayout()
+	switch o.Mechanism {
+	case MechHBMOnly:
+		layout = addr.Layout{FastBytes: 9 << 30, FastChannels: 8, NumPods: 4}
+	case MechDDROnly:
+		layout = addr.Layout{SlowBytes: 9 << 30, SlowChannels: 4, NumPods: 4}
+	}
+	sys, err := memsys.New(layout, fast, slow)
+	if err != nil {
+		return Result{}, err
+	}
+	backend := mech.NewBackend(sys)
+
+	m, err := buildMechanism(o, backend)
+	if err != nil {
+		return Result{}, err
+	}
+	engine := sim.New(backend, m)
+	engine.Window = o.Window
+	s, err := w.Stream(o.Requests, o.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	return engine.Run(w.Name, s)
+}
+
+// RunCustom is Run for a user-defined workload: def is the JSON custom
+// workload definition documented in internal/workload (profiles plus an
+// 8-core assignment; built-in benchmark names may be referenced).
+func RunCustom(def io.Reader, o Options) (Result, error) {
+	w, err := workload.LoadCustom(def)
+	if err != nil {
+		return Result{}, err
+	}
+	if o.Requests == 0 {
+		o.Requests = 500_000
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.Mechanism == "" {
+		o.Mechanism = MechMemPod
+	}
+	fast, slow := dram.HBM(), dram.DDR4_1600()
+	if o.FutureMemories {
+		fast, slow = dram.HBMOverclocked(), dram.DDR4_2400()
+	}
+	layout := addr.DefaultLayout()
+	switch o.Mechanism {
+	case MechHBMOnly:
+		layout = addr.Layout{FastBytes: 9 << 30, FastChannels: 8, NumPods: 4}
+	case MechDDROnly:
+		layout = addr.Layout{SlowBytes: 9 << 30, SlowChannels: 4, NumPods: 4}
+	}
+	sys, err := memsys.New(layout, fast, slow)
+	if err != nil {
+		return Result{}, err
+	}
+	backend := mech.NewBackend(sys)
+	m, err := buildMechanism(o, backend)
+	if err != nil {
+		return Result{}, err
+	}
+	engine := sim.New(backend, m)
+	engine.Window = o.Window
+	s, err := w.Stream(o.Requests, o.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	return engine.Run(w.Name, s)
+}
+
+func buildMechanism(o Options, backend *mech.Backend) (mech.Mechanism, error) {
+	switch o.Mechanism {
+	case MechMemPod:
+		cfg := core.DefaultConfig()
+		if o.MemPod.Interval > 0 {
+			cfg.Interval = o.MemPod.Interval
+		}
+		if o.MemPod.Counters > 0 {
+			cfg.Counters = o.MemPod.Counters
+		}
+		if o.MemPod.CounterBits > 0 {
+			cfg.CounterBits = o.MemPod.CounterBits
+		}
+		cfg.CacheBytes = o.MemPod.CacheBytes
+		cfg.UseFullCounters = o.MemPod.UseFullCounters
+		return core.New(cfg, backend)
+	case MechHMA:
+		cfg := hma.DefaultConfig()
+		if o.HMA.Interval > 0 {
+			cfg.Interval = o.HMA.Interval
+		}
+		if o.HMA.SortStall > 0 {
+			cfg.SortStall = o.HMA.SortStall
+		}
+		if o.HMA.MaxMigrations > 0 {
+			cfg.MaxMigrations = o.HMA.MaxMigrations
+		}
+		cfg.CacheBytes = o.HMA.CacheBytes
+		return hma.New(cfg, backend)
+	case MechTHM:
+		return thm.New(thm.DefaultConfig(), backend)
+	case MechCAMEO:
+		return cameo.New(cameo.DefaultConfig(), backend)
+	case MechTLM, MechHBMOnly, MechDDROnly:
+		return mech.NewStatic(string(o.Mechanism), backend), nil
+	default:
+		return nil, fmt.Errorf("mempod: unknown mechanism %q", o.Mechanism)
+	}
+}
+
+func lookupWorkload(name string) (workload.Workload, error) {
+	for _, w := range workload.All() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return workload.Workload{}, fmt.Errorf("mempod: unknown workload %q (see Workloads())", name)
+}

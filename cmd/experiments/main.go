@@ -7,6 +7,11 @@
 //	experiments -full            # full scale (tens of minutes on one core)
 //	experiments -only fig8,fig9  # a subset
 //	experiments -csvdir out/     # also write CSVs
+//	experiments -j 4 -progress   # bound worker count, show cell progress
+//
+// Simulation cells fan out to GOMAXPROCS workers by default (-j bounds
+// them; -j 1 forces serial execution). Results are deterministic for a
+// fixed seed regardless of -j.
 package main
 
 import (
@@ -22,9 +27,11 @@ import (
 
 func main() {
 	var (
-		full   = flag.Bool("full", false, "run at full scale")
-		only   = flag.String("only", "", "comma-separated experiment ids (e.g. fig8,table1)")
-		csvdir = flag.String("csvdir", "", "directory to write per-experiment CSV files")
+		full     = flag.Bool("full", false, "run at full scale")
+		only     = flag.String("only", "", "comma-separated experiment ids (e.g. fig8,table1)")
+		csvdir   = flag.String("csvdir", "", "directory to write per-experiment CSV files")
+		parallel = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+		progress = flag.Bool("progress", false, "report per-cell progress on stderr")
 	)
 	flag.Parse()
 
@@ -54,7 +61,14 @@ func main() {
 
 	for _, e := range selected {
 		start := time.Now()
-		tab, err := mempod.RunExperiment(e, scale)
+		opts := mempod.RunOptions{Scale: scale, Parallelism: *parallel}
+		if *progress {
+			e := e
+			opts.Progress = func(done, total int) {
+				fmt.Fprintf(os.Stderr, "%s: %d/%d cells\n", e, done, total)
+			}
+		}
+		tab, err := mempod.RunExperimentOpts(e, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e, err)
 			os.Exit(1)

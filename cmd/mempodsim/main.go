@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/runner"
 )
 
 // compareOrder is the mechanism order of -compare output.
@@ -36,6 +37,7 @@ func main() {
 		list     = flag.Bool("list", false, "list workloads and exit")
 		compare  = flag.Bool("compare", false, "run all mechanisms on the workload and tabulate")
 		custom   = flag.String("custom", "", "JSON file defining a custom workload (overrides -workload)")
+		parallel = flag.Int("j", 0, "-compare: max concurrent simulations (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -45,7 +47,7 @@ func main() {
 	}
 
 	if *compare {
-		if err := runCompare(*wl, *custom, *requests, *seed, *future); err != nil {
+		if err := runCompare(*wl, *custom, *requests, *seed, *future, *parallel); err != nil {
 			fmt.Fprintln(os.Stderr, "mempodsim:", err)
 			os.Exit(1)
 		}
@@ -103,12 +105,12 @@ func runOne(wl, customPath string, o mempod.Options) (mempod.Result, error) {
 	return mempod.RunCustom(f, o)
 }
 
-// runCompare tabulates every mechanism on one workload.
-func runCompare(wl, customPath string, requests int, seed int64, future bool) error {
-	var base mempod.Result
-	fmt.Printf("%-10s %12s %12s %12s %12s\n",
-		"mechanism", "AMMAT (ns)", "normalized", "fast %", "moved MB")
-	for _, m := range compareOrder {
+// runCompare tabulates every mechanism on one workload, running the
+// mechanisms concurrently (each run builds its own simulator state).
+func runCompare(wl, customPath string, requests int, seed int64, future bool, parallelism int) error {
+	tasks := make([]runner.Task[mempod.Result], len(compareOrder))
+	for i, m := range compareOrder {
+		m := m
 		o := mempod.Options{Mechanism: m, Requests: requests, Seed: seed, FutureMemories: future}
 		if m == mempod.MechHMA {
 			// Scale HMA to the trace length (see EXPERIMENTS.md).
@@ -118,13 +120,25 @@ func runCompare(wl, customPath string, requests int, seed int64, future bool) er
 				MaxMigrations: 4096,
 			}
 		}
-		res, err := runOne(wl, customPath, o)
-		if err != nil {
-			return fmt.Errorf("%s: %w", m, err)
+		tasks[i] = runner.Task[mempod.Result]{
+			Key: string(m),
+			Run: func() (mempod.Result, error) { return runOne(wl, customPath, o) },
 		}
+	}
+	results, err := runner.Run(tasks, runner.Options{Parallelism: parallelism})
+	if err != nil {
+		return err
+	}
+	var base mempod.Result
+	for i, m := range compareOrder {
 		if m == mempod.MechTLM {
-			base = res
+			base = results[i].Value
 		}
+	}
+	fmt.Printf("%-10s %12s %12s %12s %12s\n",
+		"mechanism", "AMMAT (ns)", "normalized", "fast %", "moved MB")
+	for i, m := range compareOrder {
+		res := results[i].Value
 		fmt.Printf("%-10s %12.2f %12.3f %11.1f%% %12.1f\n",
 			m, res.AMMAT(), res.Normalized(base), 100*res.FastServiceFraction(),
 			float64(res.Mig.BytesMoved)/(1<<20))

@@ -6,6 +6,10 @@
 //	sweep                 # quick subset
 //	sweep -full           # sweep-workload subset at full trace length
 //	sweep -fig 6          # only Figure 6
+//	sweep -j 4            # bound the worker pool (0 = GOMAXPROCS)
+//
+// Each sweep fans its (design point × workload) grid out to a worker
+// pool; results are deterministic for a fixed seed regardless of -j.
 package main
 
 import (
@@ -28,11 +32,13 @@ func main() {
 		requests  = flag.Int("requests", 0, "override trace length")
 		workloads = flag.String("workloads", "", "comma-separated workload subset")
 		ablate    = flag.Bool("ablate", false, "also run the pod-count and tracker ablations")
+		parallel  = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
 	cfg := exp.QuickConfig().WithWorkloads(sweepSubset...)
 	cfg.Requests = 150_000
+	cfg.Parallelism = *parallel
 	if *full {
 		cfg.Requests = 1_000_000
 	}

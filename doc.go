@@ -16,7 +16,10 @@
 //     for the paper's Sniper-captured traces (internal/workload);
 //   - the complete evaluation: every table and figure of the paper
 //     (internal/exp), regenerable via this package, cmd/experiments, or
-//     the benchmarks in bench_test.go.
+//     the benchmarks in bench_test.go. Experiment matrices fan their
+//     independent simulation cells out to a bounded worker pool
+//     (internal/runner); results are deterministic for a fixed Seed
+//     regardless of parallelism (see RunOptions.Parallelism).
 //
 // # Quick start
 //

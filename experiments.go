@@ -58,12 +58,32 @@ func Experiments() []Experiment {
 	return []Experiment{Fig1, Fig2, Fig3, Table1, Table2, Table3, Fig6, Fig7, Fig8, Fig9, Fig10}
 }
 
+// RunOptions tunes how an experiment executes, not what it simulates.
+type RunOptions struct {
+	// Scale selects Quick or Full evaluation.
+	Scale ExperimentScale
+	// Parallelism bounds concurrent simulation cells (0 = GOMAXPROCS,
+	// 1 = serial). Results are identical for any value: every cell builds
+	// its own simulator state and cells are assembled in a fixed order.
+	Parallelism int
+	// Progress, when non-nil, observes cell completion (done of total).
+	Progress func(done, total int)
+}
+
 // RunExperiment regenerates one table or figure of the paper at the given
 // scale. Sweeps (Fig6, Fig7, Fig9) always run on a representative workload
 // subset; Fig1–3, Fig8 and Fig10 use the full 27-workload set at Full
-// scale.
+// scale. Simulations fan out to GOMAXPROCS workers; use RunExperimentOpts
+// to bound or observe them.
 func RunExperiment(e Experiment, scale ExperimentScale) (*Table, error) {
-	cfg := expConfig(e, scale)
+	return RunExperimentOpts(e, RunOptions{Scale: scale})
+}
+
+// RunExperimentOpts is RunExperiment with execution options.
+func RunExperimentOpts(e Experiment, opts RunOptions) (*Table, error) {
+	cfg := expConfig(e, opts.Scale)
+	cfg.Parallelism = opts.Parallelism
+	cfg.Progress = opts.Progress
 	var t *report.Table
 	var err error
 	switch e {

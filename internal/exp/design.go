@@ -16,28 +16,60 @@ var (
 	Fig6Counters = []int{16, 32, 64, 128, 256, 512}
 )
 
+// designPoint aggregates one MemPod configuration over the config's
+// workloads: average AMMAT (ns) and average migrations per pod per
+// interval.
+type designPoint struct {
+	ammat float64
+	migs  float64
+}
+
+// runMemPodGrid evaluates several MemPod configurations as one flat
+// (configuration × workload) matrix — so a whole design-space sweep fans
+// out to c.Parallelism workers at once — and returns one aggregated point
+// per configuration, in input order.
+func (c Config) runMemPodGrid(cfgs []core.Config) ([]designPoint, error) {
+	builders := make([]builder, len(cfgs))
+	for i, mpCfg := range cfgs {
+		mpCfg := mpCfg
+		builders[i] = builder{
+			name:   fmt.Sprintf("MemPod#%d", i),
+			layout: stdLayout(), fast: dram.HBM(), slow: dram.DDR4_1600(),
+			make:   func(bk *mech.Backend) mech.Mechanism { return core.MustNew(mpCfg, bk) },
+		}
+	}
+	res, err := c.matrix(builders)
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]designPoint, len(cfgs))
+	for i, b := range builders {
+		var p designPoint
+		for _, w := range c.Workloads {
+			r := res[b.name][w.Name]
+			p.ammat += r.AMMAT()
+			if r.Mig.Intervals > 0 {
+				p.migs += float64(r.Mig.PageMigrations) /
+					float64(r.Mig.Intervals) / float64(stdLayout().NumPods)
+			}
+		}
+		n := float64(len(c.Workloads))
+		p.ammat /= n
+		p.migs /= n
+		pts[i] = p
+	}
+	return pts, nil
+}
+
 // runMemPod runs the config's workloads under one MemPod configuration
 // and returns the average AMMAT (ns) and average migrations per pod per
 // interval.
 func (c Config) runMemPod(mpCfg core.Config) (ammat, migsPerPodInterval float64, err error) {
-	b := builder{
-		name: "MemPod", layout: stdLayout(), fast: dram.HBM(), slow: dram.DDR4_1600(),
-		make: func(bk *mech.Backend) mech.Mechanism { return core.MustNew(mpCfg, bk) },
+	pts, err := c.runMemPodGrid([]core.Config{mpCfg})
+	if err != nil {
+		return 0, 0, err
 	}
-	var ammatSum, migSum float64
-	for _, w := range c.Workloads {
-		res, err := c.run(w, b)
-		if err != nil {
-			return 0, 0, err
-		}
-		ammatSum += res.AMMAT()
-		if res.Mig.Intervals > 0 {
-			migSum += float64(res.Mig.PageMigrations) /
-				float64(res.Mig.Intervals) / float64(stdLayout().NumPods)
-		}
-	}
-	n := float64(len(c.Workloads))
-	return ammatSum / n, migSum / n, nil
+	return pts[0].ammat, pts[0].migs, nil
 }
 
 // Fig6 regenerates Figure 6: average AMMAT over the epoch-length ×
@@ -49,15 +81,22 @@ func (c Config) Fig6() (*report.Table, error) {
 		cols = append(cols, fmt.Sprintf("%d ctrs", k))
 	}
 	t := report.New("fig6", "Average AMMAT (ns) vs epoch length and MEA counters", cols...)
+	var cfgs []core.Config
+	for _, epoch := range Fig6Epochs {
+		for _, k := range Fig6Counters {
+			cfgs = append(cfgs, core.Config{Interval: epoch, Counters: k, CounterBits: 16})
+		}
+	}
+	pts, err := c.runMemPodGrid(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
 	for _, epoch := range Fig6Epochs {
 		row := []string{epoch.String()}
-		for _, k := range Fig6Counters {
-			mpCfg := core.Config{Interval: epoch, Counters: k, CounterBits: 16}
-			ammat, _, err := c.runMemPod(mpCfg)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, fmt.Sprintf("%.2f", ammat))
+		for range Fig6Counters {
+			row = append(row, fmt.Sprintf("%.2f", pts[i].ammat))
+			i++
 		}
 		t.Add(row...)
 	}
@@ -81,18 +120,20 @@ func (c Config) Fig7() (*report.Table, error) {
 		{"7a: 50us/64", 50 * clock.Microsecond, 64},
 		{"7b: 100us/128", 100 * clock.Microsecond, 128},
 	}
+	var cfgs []core.Config
 	for _, v := range variants {
-		type point struct {
-			ammat, migs float64
-		}
-		pts := make(map[int]point, len(Fig7Widths))
 		for _, bits := range Fig7Widths {
-			mpCfg := core.Config{Interval: v.interval, Counters: v.counters, CounterBits: bits}
-			ammat, migs, err := c.runMemPod(mpCfg)
-			if err != nil {
-				return nil, err
-			}
-			pts[bits] = point{ammat, migs}
+			cfgs = append(cfgs, core.Config{Interval: v.interval, Counters: v.counters, CounterBits: bits})
+		}
+	}
+	all, err := c.runMemPodGrid(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for vi, v := range variants {
+		pts := make(map[int]designPoint, len(Fig7Widths))
+		for wi, bits := range Fig7Widths {
+			pts[bits] = all[vi*len(Fig7Widths)+wi]
 		}
 		base := pts[2].ammat
 		for _, bits := range Fig7Widths {
@@ -112,19 +153,24 @@ func (c Config) Fig7() (*report.Table, error) {
 // bottom of the sweep. It returns the chosen point's AMMAT and the sweep
 // minimum, for tests.
 func (c Config) BestConfigCheck() (chosen, best float64, err error) {
-	best = -1
+	var cfgs []core.Config
 	for _, epoch := range Fig6Epochs {
 		for _, k := range Fig6Counters {
-			ammat, _, err := c.runMemPod(core.Config{Interval: epoch, Counters: k, CounterBits: 16})
-			if err != nil {
-				return 0, 0, err
-			}
-			if best < 0 || ammat < best {
-				best = ammat
-			}
-			if epoch == 50*clock.Microsecond && k == 64 {
-				chosen = ammat
-			}
+			cfgs = append(cfgs, core.Config{Interval: epoch, Counters: k, CounterBits: 16})
+		}
+	}
+	pts, err := c.runMemPodGrid(cfgs)
+	if err != nil {
+		return 0, 0, err
+	}
+	best = -1
+	for i, cfg := range cfgs {
+		ammat := pts[i].ammat
+		if best < 0 || ammat < best {
+			best = ammat
+		}
+		if cfg.Interval == 50*clock.Microsecond && cfg.Counters == 64 {
+			chosen = ammat
 		}
 	}
 	return chosen, best, nil

@@ -20,6 +20,7 @@ import (
 	"repro/internal/hma"
 	"repro/internal/mech"
 	"repro/internal/memsys"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/thm"
@@ -45,6 +46,18 @@ type Config struct {
 	HMAInterval      clock.Duration
 	HMASortStall     clock.Duration
 	HMAMaxMigrations int
+
+	// Parallelism bounds how many simulation cells run concurrently in
+	// matrix experiments (Figures 6–10, the ablations, the oracle study).
+	// Zero selects GOMAXPROCS; one forces serial execution. Results are
+	// identical for any value: cells are fully independent (Config.run
+	// builds a fresh memsys/backend/engine per cell) and are assembled in
+	// a fixed order by internal/runner.
+	Parallelism int
+	// Progress, when non-nil, is invoked after each simulation cell of a
+	// matrix completes, with the count done so far and the matrix total.
+	// Invocations are serialized across workers.
+	Progress func(done, total int)
 }
 
 // DefaultConfig returns the full-evaluation configuration.
@@ -153,7 +166,12 @@ func (c Config) hmaConfig() hma.Config {
 	return cfg
 }
 
-// run executes one (workload, builder) cell.
+// run executes one (workload, builder) cell. Every piece of mutable state
+// — memory system, backend, mechanism, engine, trace stream — is
+// constructed here, inside the cell; cells share only the read-only Config
+// and builder values. That isolation is what makes matrix safe to fan out
+// across goroutines (asserted by TestMatrixParallelDeterminism and the
+// race detector in CI).
 func (c Config) run(w workload.Workload, b builder) (stats.Result, error) {
 	sys, err := memsys.New(b.layout, b.fast, b.slow)
 	if err != nil {
@@ -173,19 +191,42 @@ func (c Config) run(w workload.Workload, b builder) (stats.Result, error) {
 	return res, nil
 }
 
-// matrix runs every workload under every builder and returns
-// results[builderName][workloadName].
+// matrix runs every workload under every builder on c.Parallelism workers
+// and returns results[builderName][workloadName]. Cell failures never
+// abort the grid: every cell is attempted, completed cells are always
+// returned, and the error joins every cell failure (keyed
+// "builder/workload") via errors.Join. Failed cells are absent from the
+// returned maps. For a fixed Seed the result is bit-identical for any
+// Parallelism; see Config.run for the per-cell isolation that guarantees
+// it.
 func (c Config) matrix(builders []builder) (map[string]map[string]stats.Result, error) {
+	tasks := make([]runner.Task[stats.Result], 0, len(builders)*len(c.Workloads))
+	for _, b := range builders {
+		for _, w := range c.Workloads {
+			b, w := b, w
+			tasks = append(tasks, runner.Task[stats.Result]{
+				Key: b.name + "/" + w.Name,
+				Run: func() (stats.Result, error) { return c.run(w, b) },
+			})
+		}
+	}
+	cells, err := runner.Run(tasks, runner.Options{
+		Parallelism: c.Parallelism,
+		OnProgress:  c.Progress,
+	})
 	out := make(map[string]map[string]stats.Result, len(builders))
+	i := 0
 	for _, b := range builders {
 		out[b.name] = make(map[string]stats.Result, len(c.Workloads))
 		for _, w := range c.Workloads {
-			res, err := c.run(w, b)
-			if err != nil {
-				return nil, fmt.Errorf("exp: %s/%s: %w", b.name, w.Name, err)
+			if cells[i].Err == nil {
+				out[b.name][w.Name] = cells[i].Value
 			}
-			out[b.name][w.Name] = res
+			i++
 		}
+	}
+	if err != nil {
+		return out, fmt.Errorf("exp: %w", err)
 	}
 	return out, nil
 }

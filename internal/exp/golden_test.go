@@ -1,0 +1,81 @@
+package exp
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update regenerates the golden files instead of comparing against them:
+//
+//	go test ./internal/exp -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite testdata golden files")
+
+// goldenConfig is the pinned regression configuration: small enough to run
+// in CI, large enough that migration mechanisms separate. It must never
+// change silently — the committed golden files encode its exact output,
+// so any drift in the simulator, the workload generators, or the
+// experiment plumbing (including the parallel runner) fails these tests.
+func goldenConfig() Config {
+	c := QuickConfig()
+	c.Requests = 30_000
+	c.Workloads = selectWorkloads("cactus", "bwaves", "mix5")
+	c.Parallelism = 0 // GOMAXPROCS: golden output must not depend on scheduling
+	return c
+}
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s\n"+
+			"If the change is intentional, regenerate with:\n\tgo test ./internal/exp -run TestGolden -update",
+			name, got, want)
+	}
+}
+
+// TestGoldenFig8 pins the Figure 8 mechanism comparison (the paper's
+// headline result) for the golden config. Same Seed ⇒ identical table,
+// regardless of Parallelism.
+func TestGoldenFig8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix")
+	}
+	tab, err := goldenConfig().Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig8", tab.String())
+}
+
+// TestGoldenFig6 pins the §6.3.1 epoch × counters design-space sweep for
+// one workload of the golden config.
+func TestGoldenFig6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	c := goldenConfig()
+	c.Workloads = selectWorkloads("cactus")
+	tab, err := c.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig6", tab.String())
+}

@@ -1,0 +1,36 @@
+package exp
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dram"
+)
+
+// BenchmarkMatrix measures the experiment matrix at increasing worker
+// counts so the parallel runner's wall-clock win is a reported number,
+// not an assertion. Compare the j=1 (serial baseline) timing against
+// j=4/j=8; on a ≥4-core machine the grid of independent simulations
+// scales near-linearly until workers exceed cores:
+//
+//	go test ./internal/exp -bench BenchmarkMatrix -run '^$'
+func BenchmarkMatrix(b *testing.B) {
+	c := tinyConfig()
+	c.Requests = 30_000
+	// TLM, MemPod, HMA, THM over three workloads: a 12-cell grid, the
+	// same shape as the Fig8 sweep subset.
+	builders := c.baselineBuilders(dram.HBM(), dram.DDR4_1600())[:4]
+	cells := len(builders) * len(c.Workloads)
+	for _, j := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			cfg := c
+			cfg.Parallelism = j
+			for i := 0; i < b.N; i++ {
+				if _, err := cfg.matrix(builders); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(cells*b.N)/b.Elapsed().Seconds(), "cells/s")
+		})
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/mea"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -42,17 +43,26 @@ type OracleResult struct {
 	FCHits  [tiers]float64
 }
 
-// OracleStudy runs the §3 offline comparison over the config's workloads.
+// OracleStudy runs the §3 offline comparison over the config's workloads,
+// fanning the per-workload passes (each with its own trackers and trace
+// stream) out to c.Parallelism workers. Results keep workload order.
 func (c Config) OracleStudy() ([]OracleResult, error) {
-	out := make([]OracleResult, 0, len(c.Workloads))
-	for _, w := range c.Workloads {
-		r, err := c.oracleOne(w)
-		if err != nil {
-			return nil, err
+	tasks := make([]runner.Task[OracleResult], len(c.Workloads))
+	for i, w := range c.Workloads {
+		w := w
+		tasks[i] = runner.Task[OracleResult]{
+			Key: "oracle/" + w.Name,
+			Run: func() (OracleResult, error) { return c.oracleOne(w) },
 		}
-		out = append(out, r)
 	}
-	return out, nil
+	results, err := runner.Run(tasks, runner.Options{
+		Parallelism: c.Parallelism,
+		OnProgress:  c.Progress,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("exp: %w", err)
+	}
+	return runner.Values(results), nil
 }
 
 func (c Config) oracleOne(w workload.Workload) (OracleResult, error) {

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -32,8 +33,21 @@ func main() {
 		csvdir   = flag.String("csvdir", "", "directory to write per-experiment CSV files")
 		parallel = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 		progress = flag.Bool("progress", false, "report per-cell progress on stderr")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+		}
+	}()
 
 	scale := mempod.Quick
 	if *full {

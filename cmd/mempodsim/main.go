@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/profiling"
 	"repro/internal/runner"
 )
 
@@ -38,8 +39,21 @@ func main() {
 		compare  = flag.Bool("compare", false, "run all mechanisms on the workload and tabulate")
 		custom   = flag.String("custom", "", "JSON file defining a custom workload (overrides -workload)")
 		parallel = flag.Int("j", 0, "-compare: max concurrent simulations (0 = GOMAXPROCS)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mempodsim:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "mempodsim:", err)
+		}
+	}()
 
 	if *list {
 		fmt.Println(strings.Join(mempod.Workloads(), "\n"))

@@ -1,0 +1,187 @@
+package addr
+
+// This file provides Geom, the precomputed form of Layout used on the
+// simulator's per-request hot path.
+//
+// Layout's methods recompute derived quantities (pages per pod, channels
+// per pod) and perform runtime division on every call; that is fine at
+// configuration time but shows up as a double-digit fraction of a
+// simulation's profile when executed millions of times per run. Geom
+// computes every derived count once and replaces each division by a stored
+// divisor that takes a shift-and-mask fast path when the divisor is a
+// power of two (which every paper configuration is). Geom methods are
+// bit-identical to their Layout counterparts — asserted exhaustively by
+// TestGeomMatchesLayout, including non-power-of-two layouts.
+
+// div is a precomputed unsigned divisor. For power-of-two divisors the
+// quotient and remainder are a shift and a mask; otherwise it falls back
+// to hardware division, preserving exact Layout semantics.
+type div struct {
+	d     uint64
+	mask  uint64
+	shift uint8
+	pow2  bool
+}
+
+func newDiv(d uint64) div {
+	v := div{d: d}
+	if d != 0 && d&(d-1) == 0 {
+		v.pow2 = true
+		v.mask = d - 1
+		for q := d; q > 1; q >>= 1 {
+			v.shift++
+		}
+	}
+	return v
+}
+
+func (v div) div(x uint64) uint64 {
+	if v.pow2 {
+		return x >> v.shift
+	}
+	return x / v.d
+}
+
+func (v div) mod(x uint64) uint64 {
+	if v.pow2 {
+		return x & v.mask
+	}
+	return x % v.d
+}
+
+// Divisor is a precomputed divisor for hot-path division by a
+// configuration-time constant, with the same power-of-two fast path div
+// uses. The zero value divides by zero (panics), like the plain operator.
+type Divisor struct{ d div }
+
+// NewDivisor precomputes division by d.
+func NewDivisor(d uint64) Divisor { return Divisor{newDiv(d)} }
+
+// Div returns x / d.
+func (v Divisor) Div(x uint64) uint64 { return v.d.div(x) }
+
+// Mod returns x % d.
+func (v Divisor) Mod(x uint64) uint64 { return v.d.mod(x) }
+
+// Geom is a Layout with every derived quantity precomputed for the
+// per-request hot path. Build one with Layout.Geom after validation;
+// the zero value is not meaningful.
+type Geom struct {
+	Layout
+
+	fastPages  uint64
+	totalPages uint64
+	fastLines  uint64
+	fastPerPod uint32
+	slowPerPod uint32
+
+	fastCPP int // fast channels per pod
+	slowCPP int
+
+	pods     div // NumPods
+	fastCh   div // FastChannels
+	slowCh   div // SlowChannels
+	dFastCPP div
+	dSlowCPP div
+	dFastPP  div // FastPagesPerPod
+	dSlowPP  div // SlowPagesPerPod
+}
+
+// Geom precomputes the layout's derived geometry. The layout should be
+// valid (see Validate); single-level layouts are supported the same way
+// Layout's own methods support them.
+func (l Layout) Geom() Geom {
+	g := Geom{
+		Layout:     l,
+		fastPages:  uint64(l.FastPages()),
+		totalPages: uint64(l.TotalPages()),
+		fastLines:  uint64(l.FastLines()),
+		fastPerPod: l.FastPagesPerPod(),
+		slowPerPod: l.SlowPagesPerPod(),
+		fastCPP:    0,
+		slowCPP:    0,
+		pods:       newDiv(uint64(l.NumPods)),
+		fastCh:     newDiv(uint64(l.FastChannels)),
+		slowCh:     newDiv(uint64(l.SlowChannels)),
+	}
+	if l.NumPods > 0 {
+		g.fastCPP = l.FastChannels / l.NumPods
+		g.slowCPP = l.SlowChannels / l.NumPods
+	}
+	g.dFastCPP = newDiv(uint64(g.fastCPP))
+	g.dSlowCPP = newDiv(uint64(g.slowCPP))
+	g.dFastPP = newDiv(uint64(g.fastPerPod))
+	g.dSlowPP = newDiv(uint64(g.slowPerPod))
+	return g
+}
+
+// IsFast mirrors Layout.IsFast.
+func (g *Geom) IsFast(p Page) bool { return uint64(p) < g.fastPages }
+
+// IsFastFrame mirrors Layout.IsFastFrame.
+func (g *Geom) IsFastFrame(f Frame) bool { return uint32(f) < g.fastPerPod }
+
+// FastPagesN returns the fast page count as a plain uint64.
+func (g *Geom) FastPagesN() uint64 { return g.fastPages }
+
+// TotalPagesN returns the flat page count as a plain uint64.
+func (g *Geom) TotalPagesN() uint64 { return g.totalPages }
+
+// FastLinesN returns the fast line count as a plain uint64.
+func (g *Geom) FastLinesN() uint64 { return g.fastLines }
+
+// FastPerPod returns FastPagesPerPod without recomputing it.
+func (g *Geom) FastPerPod() uint32 { return g.fastPerPod }
+
+// PagesPerPodN returns PagesPerPod without recomputing it.
+func (g *Geom) PagesPerPodN() uint32 { return g.fastPerPod + g.slowPerPod }
+
+// PodOf mirrors Layout.PodOf.
+func (g *Geom) PodOf(p Page) int {
+	if g.IsFast(p) {
+		return int(g.pods.mod(g.fastCh.mod(uint64(p))))
+	}
+	return int(g.pods.mod(g.slowCh.mod(uint64(p) - g.fastPages)))
+}
+
+// HomeFrame mirrors Layout.HomeFrame.
+func (g *Geom) HomeFrame(p Page) (pod int, f Frame) {
+	if g.IsFast(p) {
+		pod = int(g.pods.mod(g.fastCh.mod(uint64(p))))
+		return pod, Frame(g.dFastPP.mod(g.pods.div(uint64(p))))
+	}
+	s := uint64(p) - g.fastPages
+	pod = int(g.pods.mod(g.slowCh.mod(s)))
+	f = Frame(uint64(g.fastPerPod) + g.dSlowPP.mod(g.pods.div(s)))
+	return pod, f
+}
+
+// FrameLocation mirrors Layout.FrameLocation.
+func (g *Geom) FrameLocation(pod int, f Frame, li int) Location {
+	if g.IsFastFrame(f) {
+		ch := pod*g.fastCPP + int(g.dFastCPP.mod(uint64(uint32(f))))
+		slot := g.dFastCPP.div(uint64(uint32(f)))
+		return Location{
+			Channel: ch,
+			Fast:    true,
+			Row:     slot / PagesPerRow,
+			Col:     uint32(slot%PagesPerRow)*LinesPerPage + uint32(li),
+		}
+	}
+	sf := uint64(uint32(f) - g.fastPerPod)
+	ch := g.FastChannels + pod*g.slowCPP + int(g.dSlowCPP.mod(sf))
+	slot := g.dSlowCPP.div(sf)
+	return Location{
+		Channel: ch,
+		Fast:    false,
+		Row:     slot / PagesPerRow,
+		Col:     uint32(slot%PagesPerRow)*LinesPerPage + uint32(li),
+	}
+}
+
+// HomeLocation mirrors Layout.HomeLocation.
+func (g *Geom) HomeLocation(ln Line) Location {
+	p := PageOfLine(ln)
+	pod, f := g.HomeFrame(p)
+	return g.FrameLocation(pod, f, int(uint64(ln)%LinesPerPage))
+}

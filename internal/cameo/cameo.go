@@ -16,6 +16,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/clock"
 	"repro/internal/mech"
+	"repro/internal/tab"
 	"repro/internal/trace"
 )
 
@@ -45,10 +46,13 @@ type CAMEO struct {
 	cfg      Config
 	backend  *mech.Backend
 	layout   addr.Layout
-	groups   []uint64 // permutation per congruence group
+	geom     *addr.Geom
+	groups   *tab.U64Zero // permutation per congruence group; 0 = identity
 	members  int
 	identity uint64
-	locks    map[uint64]clock.Time // flat line -> swap completion
+	fast     uint64 // fast line count
+	dFast    addr.Divisor
+	locks    mech.LockTable // flat line -> swap completion
 	pred     *llp
 	mispred  uint64
 	stats    mech.MigStats
@@ -71,9 +75,11 @@ func New(cfg Config, b *mech.Backend) (*CAMEO, error) {
 		cfg:     cfg,
 		backend: b,
 		layout:  l,
-		groups:  make([]uint64, l.FastLines()),
+		geom:    &b.Geom,
+		groups:  tab.NewU64Zero(int(l.FastLines())),
 		members: ratio + 1,
-		locks:   make(map[uint64]clock.Time),
+		fast:    uint64(l.FastLines()),
+		dFast:   addr.NewDivisor(uint64(l.FastLines())),
 	}
 	for i := 0; i < c.members; i++ {
 		c.identity |= uint64(i) << (4 * i)
@@ -85,9 +91,9 @@ func New(cfg Config, b *mech.Backend) (*CAMEO, error) {
 		}
 		c.pred = newLLP(logN)
 	}
-	// Groups start as the identity permutation; the slice is initialized
-	// lazily on first touch (zero means "uninitialized", and member 0 in
-	// every slot would be ambiguous, so zero is re-mapped on read).
+	// Groups start as the identity permutation; the table is all-zero and
+	// zero reads as the identity (member 0 in every slot would be an
+	// invalid permutation, so the encoding is unambiguous).
 	return c, nil
 }
 
@@ -106,14 +112,19 @@ func (c *CAMEO) Name() string { return "CAMEO" }
 // Stats implements mech.Mechanism.
 func (c *CAMEO) Stats() mech.MigStats { return c.stats }
 
+// Release implements mech.Releaser; the mechanism must not be used after.
+func (c *CAMEO) Release() {
+	c.groups.Release()
+	c.groups = nil
+}
+
 // groupOf decomposes a flat line into (group, member).
 func (c *CAMEO) groupOf(ln addr.Line) (grp uint64, member int) {
-	fast := uint64(c.layout.FastLines())
-	if uint64(ln) < fast {
+	if uint64(ln) < c.fast {
 		return uint64(ln), 0
 	}
-	s := uint64(ln) - fast
-	return s % fast, 1 + int(s/fast)
+	s := uint64(ln) - c.fast
+	return c.dFast.Mod(s), 1 + int(c.dFast.Div(s))
 }
 
 // lineOf is the inverse of groupOf.
@@ -121,12 +132,11 @@ func (c *CAMEO) lineOf(grp uint64, member int) addr.Line {
 	if member == 0 {
 		return addr.Line(grp)
 	}
-	fast := uint64(c.layout.FastLines())
-	return addr.Line(fast + grp + uint64(member-1)*fast)
+	return addr.Line(c.fast + grp + uint64(member-1)*c.fast)
 }
 
 func (c *CAMEO) perm(grp uint64) uint64 {
-	if p := c.groups[grp]; p != 0 {
+	if p := c.groups.A[grp]; p != 0 {
 		return p
 	}
 	return c.identity
@@ -146,6 +156,9 @@ func slotOf(perm uint64, member, members int) int {
 // Access implements mech.Mechanism: serve the line from its current slot;
 // if that slot is slow, swap the line into the group's fast slot.
 func (c *CAMEO) Access(r *trace.Request, at clock.Time) clock.Time {
+	// CAMEO's locks only shed entries when their line is re-accessed;
+	// compact occasionally with the trace clock as the expiry floor.
+	c.locks.MaybeCompact(r.Time)
 	ln := addr.LineOf(addr.Addr(r.Addr))
 	grp, member := c.groupOf(ln)
 	perm := c.perm(grp)
@@ -153,12 +166,12 @@ func (c *CAMEO) Access(r *trace.Request, at clock.Time) clock.Time {
 
 	start := at
 	var lockEnd clock.Time
-	if end, locked := c.locks[uint64(ln)]; locked {
+	if end := c.locks.Get(uint64(ln)); end != 0 {
 		if end > start {
 			lockEnd = end
 			c.stats.LockStalls++
 		} else {
-			delete(c.locks, uint64(ln))
+			c.locks.Drop(uint64(ln))
 		}
 	}
 
@@ -168,12 +181,12 @@ func (c *CAMEO) Access(r *trace.Request, at clock.Time) clock.Time {
 		if predicted := c.pred.Predict(grp); predicted != slot {
 			c.mispred++
 			wrong := c.lineOf(grp, predicted%c.members)
-			start = c.backend.Sys.Access(c.layout.HomeLocation(wrong), false, start)
+			start = c.backend.Sys.Access(c.geom.HomeLocation(wrong), false, start)
 		}
 		c.pred.Update(grp, slot)
 	}
 	slotLine := c.lineOf(grp, slot)
-	done := c.backend.Sys.Access(c.layout.HomeLocation(slotLine), r.Write, start)
+	done := c.backend.Sys.Access(c.geom.HomeLocation(slotLine), r.Write, start)
 	if lockEnd > done {
 		done = lockEnd
 	}
@@ -182,8 +195,8 @@ func (c *CAMEO) Access(r *trace.Request, at clock.Time) clock.Time {
 		// Event-triggered swap with the fast slot.
 		fastLine := c.lineOf(grp, 0)
 		end := c.backend.SwapLines(
-			c.layout.HomeLocation(fastLine),
-			c.layout.HomeLocation(slotLine),
+			c.geom.HomeLocation(fastLine),
+			c.geom.HomeLocation(slotLine),
 			start,
 		)
 		evicted := c.lineOf(grp, memberAt(perm, 0))
@@ -191,9 +204,9 @@ func (c *CAMEO) Access(r *trace.Request, at clock.Time) clock.Time {
 		ma, mb := uint64(memberAt(perm, 0)), uint64(memberAt(perm, slot))
 		newPerm &^= 0xF | 0xF<<(4*slot)
 		newPerm |= mb | ma<<(4*slot)
-		c.groups[grp] = newPerm
-		c.locks[uint64(ln)] = end
-		c.locks[uint64(evicted)] = end
+		c.groups.Set(uint32(grp), c.groups.A[grp], newPerm)
+		c.locks.Put(uint64(ln), end)
+		c.locks.Put(uint64(evicted), end)
 		c.stats.PageMigrations++ // one line promoted per event
 		c.stats.LineMigrations += 2
 		c.stats.GlobalMoveLines += 2 // MC-to-MC swaps cross the switch (§4.4)
@@ -205,7 +218,7 @@ func (c *CAMEO) Access(r *trace.Request, at clock.Time) clock.Time {
 // CheckInvariants verifies that every touched group's slot assignment is a
 // permutation of its members. O(memory); intended for tests.
 func (c *CAMEO) CheckInvariants() error {
-	for g, perm := range c.groups {
+	for g, perm := range c.groups.A {
 		if perm == 0 {
 			continue // untouched: identity
 		}
@@ -234,4 +247,7 @@ func (c *CAMEO) SlotOfLine(ln addr.Line) int {
 	return slotOf(c.perm(grp), member, c.members)
 }
 
-var _ mech.Mechanism = (*CAMEO)(nil)
+var (
+	_ mech.Mechanism = (*CAMEO)(nil)
+	_ mech.Releaser  = (*CAMEO)(nil)
+)

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/clock"
+	"repro/internal/dram"
+	"repro/internal/mech"
+	"repro/internal/memsys"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// BenchmarkMemPodAccess measures the steady-state demand path: tracker
+// observation, remap lookup, lock check and the DRAM access, with interval
+// boundaries and migrations occurring at their natural rate. The
+// acceptance bar for the allocation-free hot path is 0 allocs/op here.
+func BenchmarkMemPodAccess(b *testing.B) {
+	back := mech.NewBackend(memsys.MustNew(addr.DefaultLayout(), dram.HBM(), dram.DDR4_1600()))
+	m := MustNew(DefaultConfig(), back)
+	defer m.Release()
+
+	prof, ok := workload.ByName("cactus")
+	if !ok {
+		b.Fatal("profile cactus not found")
+	}
+	gen, err := workload.NewGenerator(prof, 0, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Pre-generate the stream so the generator is out of the loop.
+	reqs := make([]trace.Request, 1<<16)
+	for i := range reqs {
+		gen.Next(&reqs[i])
+	}
+
+	// Warm up past the first interval boundaries so steady state includes
+	// a populated remap table and live migration queues.
+	at := clock.Time(0)
+	for i := range reqs[:1 << 14] {
+		m.Access(&reqs[i], clock.Max(at, reqs[i].Time))
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := &reqs[i&(1<<16-1)]
+		if r.Time > at {
+			at = r.Time
+		}
+		m.Access(r, at)
+	}
+}

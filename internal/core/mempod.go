@@ -17,6 +17,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/mea"
 	"repro/internal/mech"
+	"repro/internal/tab"
 	"repro/internal/trace"
 )
 
@@ -98,19 +99,29 @@ type tracker interface {
 
 // pod is the per-pod state: tracker, remap tables, victim pointer, cache,
 // the paced migration queue of the current epoch and in-flight swap locks.
+//
+// The remap and inverted tables recycle through internal/tab pools, and
+// the hot set is kept as an epoch-stamped set over *fast frames* rather
+// than a map over hot page IDs: hotFast.Has(v) holds exactly when
+// inverted[v] is one of the epoch's hot pages, which is the only question
+// victim selection ever asks. The invariant is established when the epoch's
+// hot list is read (every hot page already resident in fast memory stamps
+// its frame) and maintained at the single place residency changes
+// (executeSwap chunk 0 installs a hot page into the victim frame).
 type pod struct {
 	id       int
 	tracker  tracker
-	remap    []uint32 // home frame (local page ID) -> current frame
-	inverted []uint32 // fast frame -> resident local page ID
+	remap    *tab.U32 // home frame (local page ID) -> current frame
+	inverted *tab.U32 // fast frame -> resident local page ID
 	victim   uint32   // rotating victim-identification pointer
 	cache    *mech.Cache
 
-	queue       []schedSwap           // this epoch's migration chunks, paced
-	qpos        int                   // next queue entry to execute
-	hotSet      map[uint32]struct{}   // hot pages of the epoch that built the queue
-	locks       map[uint32]clock.Time // local page -> in-flight swap completion
-	lastSwapEnd clock.Time            // serializes the pod's migration driver
+	queue       []schedSwap    // this epoch's migration chunks, paced
+	qpos        int            // next queue entry to execute
+	hotFast     *tab.EpochSet  // fast frames holding a hot page this epoch
+	locks       mech.LockTable // local page -> in-flight swap completion
+	cand        []uint32       // reused promotion-candidate buffer
+	lastSwapEnd clock.Time     // serializes the pod's migration driver
 
 	// In-flight swap state across its chunks.
 	swapSkip     bool   // chunk 0 found nothing to do; skip the rest
@@ -124,6 +135,7 @@ type MemPod struct {
 	cfg     Config
 	backend *mech.Backend
 	layout  addr.Layout
+	geom    *addr.Geom
 	pods    []pod
 	touch   mech.TouchFilter
 	next    clock.Time // next interval boundary
@@ -146,11 +158,12 @@ func New(cfg Config, b *mech.Backend) (*MemPod, error) {
 		cfg:     cfg,
 		backend: b,
 		layout:  l,
+		geom:    &b.Geom,
 		pods:    make([]pod, l.NumPods),
 		next:    cfg.Interval,
 	}
-	perPod := l.PagesPerPod()
-	fast := l.FastPagesPerPod()
+	perPod := int(l.PagesPerPod())
+	fast := int(l.FastPagesPerPod())
 	for i := range m.pods {
 		p := &m.pods[i]
 		p.id = i
@@ -159,16 +172,9 @@ func New(cfg Config, b *mech.Backend) (*MemPod, error) {
 		} else {
 			p.tracker = mea.NewMEA(cfg.Counters, cfg.CounterBits)
 		}
-		p.remap = make([]uint32, perPod)
-		for j := range p.remap {
-			p.remap[j] = uint32(j)
-		}
-		p.inverted = make([]uint32, fast)
-		for j := range p.inverted {
-			p.inverted[j] = uint32(j)
-		}
-		p.locks = make(map[uint32]clock.Time)
-		p.hotSet = make(map[uint32]struct{})
+		p.remap = tab.NewU32(perPod)
+		p.inverted = tab.NewU32(fast)
+		p.hotFast = tab.NewEpochSet(fast)
 		if cfg.CacheBytes > 0 {
 			p.cache = mech.NewCache(cfg.CacheBytes/l.NumPods, cfg.CacheWays)
 		}
@@ -199,6 +205,19 @@ func (m *MemPod) Stats() mech.MigStats { return m.stats }
 // Config returns the mechanism's configuration.
 func (m *MemPod) Config() Config { return m.cfg }
 
+// Release implements mech.Releaser: the remap, inverted and hot-set
+// tables return to their pools for the next simulation cell. The
+// mechanism must not be used afterwards.
+func (m *MemPod) Release() {
+	for i := range m.pods {
+		p := &m.pods[i]
+		p.remap.Release()
+		p.inverted.Release()
+		p.hotFast.Release()
+		p.remap, p.inverted, p.hotFast = nil, nil, nil
+	}
+}
+
 // Access implements mech.Mechanism: observe the page in the pod's MEA
 // unit, consult the remap table (through the cache model if enabled),
 // stall behind any in-flight swap of the page, and forward the line to its
@@ -210,7 +229,7 @@ func (m *MemPod) Access(r *trace.Request, at clock.Time) clock.Time {
 	}
 
 	page := addr.PageOf(addr.Addr(r.Addr))
-	podID, home := m.layout.HomeFrame(page)
+	podID, home := m.geom.HomeFrame(page)
 	p := &m.pods[podID]
 	local := uint32(home)
 
@@ -233,7 +252,7 @@ func (m *MemPod) Access(r *trace.Request, at clock.Time) clock.Time {
 		}
 	}
 	var lockEnd clock.Time
-	if end, locked := p.locks[local]; locked {
+	if end := p.locks.Get(uint64(local)); end != 0 {
 		if end > start {
 			// The page's swap is in flight: the request cannot complete
 			// before the copy lands. The DRAM access itself still issues
@@ -242,11 +261,11 @@ func (m *MemPod) Access(r *trace.Request, at clock.Time) clock.Time {
 			lockEnd = end
 			m.stats.LockStalls++
 		} else {
-			delete(p.locks, local)
+			p.locks.Drop(uint64(local))
 		}
 	}
 
-	f := addr.Frame(p.remap[local])
+	f := addr.Frame(p.remap.A[local])
 	li := int(uint64(addr.LineOf(addr.Addr(r.Addr))) % addr.LinesPerPage)
 	return clock.Max(m.backend.Line(podID, f, li, r.Write, start), lockEnd)
 }
@@ -268,8 +287,8 @@ func (m *MemPod) drainPod(p *pod, now clock.Time) {
 func (m *MemPod) executeSwap(p *pod, sw schedSwap) {
 	if sw.chunk == 0 {
 		p.swapSkip = true
-		cur := p.remap[sw.local]
-		if m.layout.IsFastFrame(addr.Frame(cur)) {
+		cur := p.remap.A[sw.local]
+		if m.geom.IsFastFrame(addr.Frame(cur)) {
 			return // already resident in fast memory
 		}
 		v, ok := p.findVictim()
@@ -279,7 +298,7 @@ func (m *MemPod) executeSwap(p *pod, sw schedSwap) {
 		p.swapSkip = false
 		p.swapVictim = uint32(v)
 		p.swapOld = cur
-		p.swapResident = p.inverted[uint32(v)]
+		p.swapResident = p.inverted.A[uint32(v)]
 
 		if p.cache != nil {
 			// Remap-table updates go through the cache model too.
@@ -296,9 +315,11 @@ func (m *MemPod) executeSwap(p *pod, sw schedSwap) {
 				}
 			}
 		}
-		p.remap[sw.local] = p.swapVictim
-		p.remap[p.swapResident] = cur
-		p.inverted[p.swapVictim] = sw.local
+		p.remap.Set(sw.local, p.swapVictim)
+		p.remap.Set(p.swapResident, cur)
+		p.inverted.Set(p.swapVictim, sw.local)
+		// The victim frame now holds a page from the epoch's hot set.
+		p.hotFast.Add(p.swapVictim)
 		m.stats.PageMigrations++
 	}
 	if p.swapSkip {
@@ -317,12 +338,8 @@ func (m *MemPod) executeSwap(p *pod, sw schedSwap) {
 	if end > p.lastSwapEnd {
 		p.lastSwapEnd = end
 	}
-	if end > p.locks[sw.local] {
-		p.locks[sw.local] = end
-	}
-	if end > p.locks[p.swapResident] {
-		p.locks[p.swapResident] = end
-	}
+	p.locks.Raise(uint64(sw.local), end)
+	p.locks.Raise(uint64(p.swapResident), end)
 }
 
 // runInterval performs the boundary work of one epoch: each pod flushes
@@ -338,7 +355,8 @@ func (m *MemPod) runInterval(boundary clock.Time) {
 		// already executed) must finish copying, but swaps that never
 		// started are stale decisions and are dropped — the migration
 		// driver's bandwidth is bounded, and the new epoch's hot set
-		// supersedes the old one.
+		// supersedes the old one. (This flush runs against the previous
+		// epoch's hotFast set, which is still current here.)
 		flushing := p.qpos > 0 && p.queue[p.qpos-1].chunk != swapChunks-1
 		for p.qpos < len(p.queue) {
 			sw := p.queue[p.qpos]
@@ -357,11 +375,7 @@ func (m *MemPod) runInterval(boundary clock.Time) {
 			m.executeSwap(p, sw)
 			p.qpos++
 		}
-		for local, end := range p.locks {
-			if end <= boundary {
-				delete(p.locks, local)
-			}
-		}
+		p.locks.Sweep(boundary)
 
 		hot := p.tracker.Hot()
 		if len(hot) > m.cfg.Counters {
@@ -369,9 +383,18 @@ func (m *MemPod) runInterval(boundary clock.Time) {
 			// bandwidth stays capped at K per pod per epoch.
 			hot = hot[:m.cfg.Counters]
 		}
-		clear(p.hotSet)
+		// Split the hot list by residency in one pass: pages already in
+		// fast memory stamp their frame hot (re-establishing the hotFast
+		// invariant for the new epoch), the rest are promotion candidates.
+		p.hotFast.BeginEpoch()
+		cand := p.cand[:0]
 		for _, e := range hot {
-			p.hotSet[uint32(e.Page)] = struct{}{}
+			local := uint32(e.Page)
+			if f := p.remap.A[local]; m.geom.IsFastFrame(addr.Frame(f)) {
+				p.hotFast.Add(f)
+				continue // already resident in fast memory
+			}
+			cand = append(cand, local)
 		}
 		// The pod's copy engine has finite bandwidth: one page swap keeps
 		// a DDR channel busy for roughly minSwapTime, and the engine may
@@ -395,29 +418,22 @@ func (m *MemPod) runInterval(boundary clock.Time) {
 		if avail < 0 {
 			avail = 0
 		}
-		var candidates []uint32
-		for _, e := range hot {
-			local := uint32(e.Page)
-			if m.layout.IsFastFrame(addr.Frame(p.remap[local])) {
-				continue // already resident in fast memory
-			}
-			candidates = append(candidates, local)
-		}
 		maxSwaps := int(avail / minSwapTime)
-		if len(candidates) > maxSwaps {
-			m.stats.DroppedMigrations += uint64(len(candidates) - maxSwaps)
-			candidates = candidates[:maxSwaps]
+		if len(cand) > maxSwaps {
+			m.stats.DroppedMigrations += uint64(len(cand) - maxSwaps)
+			cand = cand[:maxSwaps]
 		}
+		p.cand = cand
 
 		p.queue = p.queue[:0]
 		p.qpos = 0
-		if len(candidates) > 0 {
-			spacing := avail / clock.Duration(len(candidates)+1)
+		if len(cand) > 0 {
+			spacing := avail / clock.Duration(len(cand)+1)
 			if spacing < minSwapTime {
 				spacing = minSwapTime
 			}
 			chunkSpacing := spacing / swapChunks
-			for idx, local := range candidates {
+			for idx, local := range cand {
 				slot := slotBase + clock.Duration(idx)*spacing
 				for ch := 0; ch < swapChunks; ch++ {
 					p.queue = append(p.queue, schedSwap{
@@ -440,11 +456,13 @@ func (m *MemPod) runInterval(boundary clock.Time) {
 // fast frame currently holds a hot page (possible only when K approaches
 // the fast capacity of a pod).
 func (p *pod) findVictim() (addr.Frame, bool) {
-	n := uint32(len(p.inverted))
+	n := uint32(len(p.inverted.A))
 	for scanned := uint32(0); scanned < n; scanned++ {
 		v := p.victim
-		p.victim = (p.victim + 1) % n
-		if _, hot := p.hotSet[p.inverted[v]]; !hot {
+		if p.victim++; p.victim == n {
+			p.victim = 0
+		}
+		if !p.hotFast.Has(v) {
 			return addr.Frame(v), true
 		}
 	}
@@ -455,7 +473,7 @@ func (p *pod) findVictim() (addr.Frame, bool) {
 // invariant checks.
 func (m *MemPod) FrameOf(page addr.Page) (podID int, f addr.Frame) {
 	podID, home := m.layout.HomeFrame(page)
-	return podID, addr.Frame(m.pods[podID].remap[uint32(home)])
+	return podID, addr.Frame(m.pods[podID].remap.A[uint32(home)])
 }
 
 // CheckInvariants verifies that each pod's remap table is a permutation
@@ -464,9 +482,9 @@ func (m *MemPod) FrameOf(page addr.Page) (podID int, f addr.Frame) {
 func (m *MemPod) CheckInvariants() error {
 	for i := range m.pods {
 		p := &m.pods[i]
-		seen := make([]bool, len(p.remap))
-		for local, f := range p.remap {
-			if int(f) >= len(p.remap) {
+		seen := make([]bool, len(p.remap.A))
+		for local, f := range p.remap.A {
+			if int(f) >= len(p.remap.A) {
 				return fmt.Errorf("pod %d: local %d maps to out-of-range frame %d", i, local, f)
 			}
 			if seen[f] {
@@ -474,14 +492,17 @@ func (m *MemPod) CheckInvariants() error {
 			}
 			seen[f] = true
 		}
-		for f, resident := range p.inverted {
-			if p.remap[resident] != uint32(f) {
+		for f, resident := range p.inverted.A {
+			if p.remap.A[resident] != uint32(f) {
 				return fmt.Errorf("pod %d: inverted[%d]=%d but remap[%d]=%d",
-					i, f, resident, resident, p.remap[resident])
+					i, f, resident, resident, p.remap.A[resident])
 			}
 		}
 	}
 	return nil
 }
 
-var _ mech.Mechanism = (*MemPod)(nil)
+var (
+	_ mech.Mechanism = (*MemPod)(nil)
+	_ mech.Releaser  = (*MemPod)(nil)
+)

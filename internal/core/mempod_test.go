@@ -107,7 +107,7 @@ func TestMigrationEvictsColdResident(t *testing.T) {
 	}
 	// The evicted fast page now lives in the hot page's old slow frame.
 	pod := l.PodOf(hot)
-	evicted := m.pods[pod].remap
+	evicted := m.pods[pod].remap.A
 	_, home := l.HomeFrame(hot)
 	// Find the page that ended up in the hot page's home frame.
 	found := false

@@ -178,7 +178,12 @@ func (c Config) run(w workload.Workload, b builder) (stats.Result, error) {
 		return stats.Result{}, err
 	}
 	backend := mech.NewBackend(sys)
-	engine := sim.New(backend, b.make(backend))
+	m := b.make(backend)
+	// Recycle the mechanism's large tables into the shared pools once the
+	// run's stats are extracted; successive cells then reuse one another's
+	// allocations instead of paying fresh multi-MB zeroing per cell.
+	defer mech.Release(m)
+	engine := sim.New(backend, m)
 	s, err := w.Stream(c.Requests, c.Seed)
 	if err != nil {
 		return stats.Result{}, err

@@ -84,7 +84,9 @@ func (c Config) oracleOne(w workload.Workload) (OracleResult, error) {
 	flush := func() {
 		truth := fc.Hot() // exact ranking of the interval just ended
 
-		// Figure 1: MEA's ranked tiers vs the true tiers.
+		// Figure 1: MEA's ranked tiers vs the true tiers. The returned
+		// slice aliases the tracker's reusable buffer; it is fully
+		// consumed below, before the next Hot call.
 		meaRank := m.Hot()
 		for t := 0; t < tiers; t++ {
 			truthTier := tierSet(truth, t)

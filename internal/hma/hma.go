@@ -18,6 +18,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/clock"
 	"repro/internal/mech"
+	"repro/internal/tab"
 	"repro/internal/trace"
 )
 
@@ -82,16 +83,23 @@ const counterEntryBytes = 2
 const countersPerBlock = mech.BlockBytes / counterEntryBytes
 
 // HMA implements mech.Mechanism.
+//
+// The counter array journals the pages touched each interval (tab.U16Zero),
+// which turns the two O(total pages) boundary scans — candidate gathering
+// and the counter clear — into O(touched) walks: a page with count zero can
+// be neither a migration candidate (threshold >= 1) nor in need of
+// clearing. The remap and inverted tables recycle through tab pools.
 type HMA struct {
 	cfg     Config
 	backend *mech.Backend
 	layout  addr.Layout
+	geom    *addr.Geom
 
-	counters   []uint16 // per flat page, this interval
+	counters   *tab.U16Zero // per flat page, this interval
 	counterMax uint16
-	remap      []uint32              // flat page -> physical slot (flat page index)
-	inverted   []uint32              // fast slot -> resident flat page
-	locks      map[uint32]clock.Time // page -> in-flight swap completion
+	remap      *tab.U32       // flat page -> physical slot (flat page index)
+	inverted   *tab.U32       // fast slot -> resident flat page
+	locks      mech.LockTable // page -> in-flight swap completion
 	cache      *mech.Cache
 
 	touch       mech.TouchFilter
@@ -100,6 +108,14 @@ type HMA struct {
 	qpos        int
 	lastSwapEnd clock.Time
 	stats       mech.MigStats
+
+	// Boundary-pass scratch, reused across intervals.
+	hot      []pageCount
+	warm     []slotCount
+	warmSet  *tab.EpochSet // fast slots whose resident was counted this interval
+	victims  []uint32
+	hSorter  hotSorter
+	sSorter  slotSorter
 
 	// In-flight swap state across its chunks.
 	swapSkip bool
@@ -135,27 +151,22 @@ func New(cfg Config, b *mech.Backend) (*HMA, error) {
 	if cfg.CacheWays <= 0 {
 		cfg.CacheWays = 8
 	}
-	total := uint64(l.TotalPages())
+	total := int(l.TotalPages())
 	h := &HMA{
 		cfg:      cfg,
 		backend:  b,
 		layout:   l,
-		counters: make([]uint16, total),
-		remap:    make([]uint32, total),
-		inverted: make([]uint32, l.FastPages()),
-		locks:    make(map[uint32]clock.Time),
+		geom:     &b.Geom,
+		counters: tab.NewU16Zero(total),
+		remap:    tab.NewU32(total),
+		inverted: tab.NewU32(int(l.FastPages())),
+		warmSet:  tab.NewEpochSet(int(l.FastPages())),
 		next:     cfg.Interval,
 	}
 	if cfg.CounterBits >= 16 {
 		h.counterMax = ^uint16(0)
 	} else {
 		h.counterMax = uint16(1)<<cfg.CounterBits - 1
-	}
-	for i := range h.remap {
-		h.remap[i] = uint32(i)
-	}
-	for i := range h.inverted {
-		h.inverted[i] = uint32(i)
 	}
 	if cfg.CacheBytes > 0 {
 		h.cache = mech.NewCache(cfg.CacheBytes, cfg.CacheWays)
@@ -178,6 +189,15 @@ func (h *HMA) Name() string { return "HMA" }
 // Stats implements mech.Mechanism.
 func (h *HMA) Stats() mech.MigStats { return h.stats }
 
+// Release implements mech.Releaser; the mechanism must not be used after.
+func (h *HMA) Release() {
+	h.counters.Release()
+	h.remap.Release()
+	h.inverted.Release()
+	h.warmSet.Release()
+	h.counters, h.remap, h.inverted, h.warmSet = nil, nil, nil, nil
+}
+
 // Access implements mech.Mechanism.
 func (h *HMA) Access(r *trace.Request, at clock.Time) clock.Time {
 	for at >= h.next {
@@ -189,8 +209,8 @@ func (h *HMA) Access(r *trace.Request, at clock.Time) clock.Time {
 	start := at
 	page := uint32(addr.PageOf(addr.Addr(r.Addr)))
 	if h.touch.Touch(r.Core, uint64(page)) {
-		if c := h.counters[page]; c < h.counterMax {
-			h.counters[page] = c + 1
+		if c := h.counters.A[page]; c < h.counterMax {
+			h.counters.Set(page, c, c+1)
 		}
 	}
 	if h.cache != nil {
@@ -203,16 +223,16 @@ func (h *HMA) Access(r *trace.Request, at clock.Time) clock.Time {
 		}
 	}
 	var lockEnd clock.Time
-	if end, locked := h.locks[page]; locked {
+	if end := h.locks.Get(uint64(page)); end != 0 {
 		if end > start {
 			lockEnd = end
 			h.stats.LockStalls++
 		} else {
-			delete(h.locks, page)
+			h.locks.Drop(uint64(page))
 		}
 	}
-	slot := addr.Page(h.remap[page])
-	pod, f := h.layout.HomeFrame(slot)
+	slot := addr.Page(h.remap.A[page])
+	pod, f := h.geom.HomeFrame(slot)
 	li := int(uint64(addr.LineOf(addr.Addr(r.Addr))) % addr.LinesPerPage)
 	return clock.Max(h.backend.Line(pod, f, li, r.Write, start), lockEnd)
 }
@@ -222,6 +242,19 @@ type pageCount struct {
 	page  uint32
 	count uint16
 }
+
+// hotSorter orders candidates by count descending, page ascending — a
+// strict total order, so the result is algorithm-independent.
+type hotSorter struct{ s []pageCount }
+
+func (o *hotSorter) Len() int { return len(o.s) }
+func (o *hotSorter) Less(i, j int) bool {
+	if o.s[i].count != o.s[j].count {
+		return o.s[i].count > o.s[j].count
+	}
+	return o.s[i].page < o.s[j].page
+}
+func (o *hotSorter) Swap(i, j int) { o.s[i], o.s[j] = o.s[j], o.s[i] }
 
 // runInterval models HMA's OS-driven epoch: flush any swaps left from the
 // previous epoch, pick hot slow-resident pages above the threshold, pair
@@ -249,32 +282,29 @@ func (h *HMA) runInterval(boundary clock.Time) {
 		h.executeSwap(sw)
 		h.qpos++
 	}
-	for page, end := range h.locks {
-		if end <= boundary {
-			delete(h.locks, page)
-		}
-	}
+	h.locks.Sweep(boundary)
 
-	// Gather candidates: hot pages currently in slow memory.
-	var hot []pageCount
-	fastPages := uint32(h.layout.FastPages())
-	for p, c := range h.counters {
+	// Gather candidates: hot pages currently in slow memory. Only pages in
+	// the interval's touch journal can clear the threshold (untouched
+	// pages count zero), and the sort below imposes a total order, so
+	// walking the journal instead of the whole counter array is exact.
+	hot := h.hot[:0]
+	fastPages := uint32(h.geom.FastPagesN())
+	for _, p := range h.counters.Touched() {
+		c := h.counters.A[p]
 		if uint64(c) < h.cfg.HotThreshold {
 			continue
 		}
-		if h.remap[p] >= fastPages { // resident in slow memory
-			hot = append(hot, pageCount{uint32(p), c})
+		if h.remap.A[p] >= fastPages { // resident in slow memory
+			hot = append(hot, pageCount{p, c})
 		}
 	}
-	sort.Slice(hot, func(i, j int) bool {
-		if hot[i].count != hot[j].count {
-			return hot[i].count > hot[j].count
-		}
-		return hot[i].page < hot[j].page
-	})
+	h.hSorter.s = hot
+	sort.Sort(&h.hSorter)
 	if len(hot) > h.cfg.MaxMigrations {
 		hot = hot[:h.cfg.MaxMigrations]
 	}
+	h.hot = hot
 
 	h.queue = h.queue[:0]
 	h.qpos = 0
@@ -290,7 +320,7 @@ func (h *HMA) runInterval(boundary clock.Time) {
 			if i >= len(victims) {
 				break
 			}
-			if uint64(h.counters[h.inverted[victims[i]]]) >= h.cfg.HotThreshold {
+			if uint64(h.counters.A[h.inverted.A[victims[i]]]) >= h.cfg.HotThreshold {
 				continue // victim is itself hot; skip
 			}
 			slot := sortDone + clock.Duration(i)*spacing
@@ -307,7 +337,7 @@ func (h *HMA) runInterval(boundary clock.Time) {
 	if h.lastSwapEnd < boundary {
 		h.lastSwapEnd = boundary
 	}
-	clear(h.counters)
+	h.counters.Clear()
 }
 
 // drain executes queued swaps whose start time has arrived, keeping
@@ -324,16 +354,16 @@ func (h *HMA) drain(now clock.Time) {
 func (h *HMA) executeSwap(sw queuedSwap) {
 	if sw.chunk == 0 {
 		h.swapSkip = true
-		cur := h.remap[sw.page]
-		if cur < uint32(h.layout.FastPages()) {
+		cur := h.remap.A[sw.page]
+		if cur < uint32(h.geom.FastPagesN()) {
 			return // already promoted
 		}
 		h.swapSkip = false
 		h.swapOld = cur
-		h.swapRes = h.inverted[sw.victim]
-		h.remap[sw.page] = sw.victim
-		h.remap[h.swapRes] = cur
-		h.inverted[sw.victim] = sw.page
+		h.swapRes = h.inverted.A[sw.victim]
+		h.remap.Set(sw.page, sw.victim)
+		h.remap.Set(h.swapRes, cur)
+		h.inverted.Set(sw.victim, sw.page)
 		h.stats.PageMigrations++
 	}
 	if h.swapSkip {
@@ -349,38 +379,69 @@ func (h *HMA) executeSwap(sw queuedSwap) {
 	if end > h.lastSwapEnd {
 		h.lastSwapEnd = end
 	}
-	if end > h.locks[sw.page] {
-		h.locks[sw.page] = end
-	}
-	if end > h.locks[h.swapRes] {
-		h.locks[h.swapRes] = end
-	}
+	h.locks.Raise(uint64(sw.page), end)
+	h.locks.Raise(uint64(h.swapRes), end)
 }
 
+// slotCount pairs a fast slot with its resident's interval count.
+type slotCount struct {
+	slot  uint32
+	count uint16
+}
+
+// slotSorter orders slots by count ascending, slot ascending — again a
+// strict total order.
+type slotSorter struct{ s []slotCount }
+
+func (o *slotSorter) Len() int { return len(o.s) }
+func (o *slotSorter) Less(i, j int) bool {
+	if o.s[i].count != o.s[j].count {
+		return o.s[i].count < o.s[j].count
+	}
+	return o.s[i].slot < o.s[j].slot
+}
+func (o *slotSorter) Swap(i, j int) { o.s[i], o.s[j] = o.s[j], o.s[i] }
+
 // coldestFastSlots returns up to n fast slots ordered by ascending
-// resident count (the OS's victim choice under full counters).
+// resident count, slot ascending on ties (the OS's victim choice under
+// full counters).
+//
+// Equivalent to sorting all fast slots by (count, slot) and taking the
+// first n, but without touching the whole fast region: a slot's resident
+// counts zero exactly when it is absent from the interval's touch journal,
+// and all such slots precede every warm slot in the total order. So the
+// prefix is: cold slots in ascending slot order (enumerated by scanning
+// slot IDs and skipping the journal-derived warm set), then warm slots
+// sorted.
 func (h *HMA) coldestFastSlots(n int) []uint32 {
-	type slotCount struct {
-		slot  uint32
-		count uint16
-	}
-	slots := make([]slotCount, len(h.inverted))
-	for v := range h.inverted {
-		slots[v] = slotCount{uint32(v), h.counters[h.inverted[v]]}
-	}
-	sort.Slice(slots, func(i, j int) bool {
-		if slots[i].count != slots[j].count {
-			return slots[i].count < slots[j].count
+	fastPages := uint32(h.geom.FastPagesN())
+	warm := h.warm[:0]
+	h.warmSet.BeginEpoch()
+	for _, p := range h.counters.Touched() {
+		if slot := h.remap.A[p]; slot < fastPages {
+			warm = append(warm, slotCount{slot, h.counters.A[p]})
+			h.warmSet.Add(slot)
 		}
-		return slots[i].slot < slots[j].slot
-	})
-	if len(slots) > n {
-		slots = slots[:n]
 	}
-	out := make([]uint32, len(slots))
-	for i, s := range slots {
-		out[i] = s.slot
+	h.warm = warm
+
+	out := h.victims[:0]
+	for slot := uint32(0); slot < fastPages && len(out) < n; slot++ {
+		if !h.warmSet.Has(slot) {
+			out = append(out, slot)
+		}
 	}
+	if len(out) < n {
+		h.sSorter.s = warm
+		sort.Sort(&h.sSorter)
+		for _, s := range warm {
+			if len(out) >= n {
+				break
+			}
+			out = append(out, s.slot)
+		}
+	}
+	h.victims = out
 	return out
 }
 
@@ -388,9 +449,9 @@ func (h *HMA) coldestFastSlots(n int) []uint32 {
 // flat page space and that the inverted table matches it. O(memory);
 // intended for tests.
 func (h *HMA) CheckInvariants() error {
-	seen := make([]bool, len(h.remap))
-	for page, slot := range h.remap {
-		if int(slot) >= len(h.remap) {
+	seen := make([]bool, len(h.remap.A))
+	for page, slot := range h.remap.A {
+		if int(slot) >= len(h.remap.A) {
 			return fmt.Errorf("hma: page %d maps to out-of-range slot %d", page, slot)
 		}
 		if seen[slot] {
@@ -398,16 +459,19 @@ func (h *HMA) CheckInvariants() error {
 		}
 		seen[slot] = true
 	}
-	for slot, page := range h.inverted {
-		if h.remap[page] != uint32(slot) {
+	for slot, page := range h.inverted.A {
+		if h.remap.A[page] != uint32(slot) {
 			return fmt.Errorf("hma: inverted[%d]=%d but remap[%d]=%d",
-				slot, page, page, h.remap[page])
+				slot, page, page, h.remap.A[page])
 		}
 	}
 	return nil
 }
 
 // FrameOfPage reports the current physical slot of a flat page, for tests.
-func (h *HMA) FrameOfPage(p addr.Page) addr.Page { return addr.Page(h.remap[uint32(p)]) }
+func (h *HMA) FrameOfPage(p addr.Page) addr.Page { return addr.Page(h.remap.A[uint32(p)]) }
 
-var _ mech.Mechanism = (*HMA)(nil)
+var (
+	_ mech.Mechanism = (*HMA)(nil)
+	_ mech.Releaser  = (*HMA)(nil)
+)

@@ -1,0 +1,42 @@
+package mea
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchStream is a Zipf-flavored page stream: a hot head with a long tail,
+// the shape the tracker sees in practice (hits on tracked pages mixed with
+// decrement-all churn from the tail).
+func benchStream(n, pageSpace int) []uint64 {
+	rng := rand.New(rand.NewSource(42))
+	z := rand.NewZipf(rng, 1.2, 1, uint64(pageSpace-1))
+	s := make([]uint64, n)
+	for i := range s {
+		s[i] = z.Uint64()
+	}
+	return s
+}
+
+func BenchmarkMEAObserve(b *testing.B) {
+	stream := benchStream(1<<16, 1<<20)
+	m := NewMEA(64, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Observe(stream[i&(1<<16-1)])
+	}
+}
+
+func BenchmarkMEAHot(b *testing.B) {
+	stream := benchStream(1<<14, 1<<20)
+	m := NewMEA(64, 2)
+	for _, p := range stream {
+		m.Observe(p)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Hot()
+	}
+}

@@ -1,0 +1,130 @@
+package mea
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refMEA is the original map-backed implementation of Algorithm 1, kept
+// verbatim as the differential-testing reference for the array-backed MEA.
+// Both are deterministic functions of the observation stream (map
+// iteration order only feeds the order-independent decrement-all), so the
+// production tracker must match it exactly — including Hot() tie order.
+type refMEA struct {
+	k        int
+	maxCount uint64
+	counts   map[uint64]uint64
+}
+
+func newRefMEA(k, counterBits int) *refMEA {
+	var max uint64
+	if counterBits >= 64 {
+		max = ^uint64(0)
+	} else {
+		max = (uint64(1) << counterBits) - 1
+	}
+	return &refMEA{k: k, maxCount: max, counts: make(map[uint64]uint64, k)}
+}
+
+func (m *refMEA) Observe(p uint64) {
+	if c, ok := m.counts[p]; ok {
+		if c < m.maxCount {
+			m.counts[p] = c + 1
+		}
+		return
+	}
+	if len(m.counts) < m.k {
+		m.counts[p] = 1
+		return
+	}
+	for q, c := range m.counts {
+		if c <= 1 {
+			delete(m.counts, q)
+		} else {
+			m.counts[q] = c - 1
+		}
+	}
+}
+
+func (m *refMEA) Contains(p uint64) bool {
+	_, ok := m.counts[p]
+	return ok
+}
+
+func (m *refMEA) Hot() []Entry {
+	out := make([]Entry, 0, len(m.counts))
+	for p, c := range m.counts {
+		out = append(out, Entry{Page: p, Count: c})
+	}
+	sortEntries(out)
+	return out
+}
+
+func (m *refMEA) Reset() { clear(m.counts) }
+
+// TestMEADifferential drives the array-backed MEA and the map-backed
+// reference through identical randomized observe/reset streams and
+// requires exact agreement on Len, Contains, and Hot (order included) at
+// every checkpoint.
+func TestMEADifferential(t *testing.T) {
+	cases := []struct {
+		k, bits, pageSpace int
+	}{
+		{1, 1, 4},    // degenerate: single slot, counters saturate at 1
+		{2, 2, 8},    // constant decrement-all churn
+		{64, 2, 256}, // the paper's design point under heavy conflict
+		{64, 2, 40},  // fewer pages than slots: no evictions after warmup
+		{128, 64, 4096},
+		{7, 5, 100}, // non-power-of-two capacity
+	}
+	for _, tc := range cases {
+		rng := rand.New(rand.NewSource(int64(tc.k*1000 + tc.bits)))
+		m := NewMEA(tc.k, tc.bits)
+		ref := newRefMEA(tc.k, tc.bits)
+		for step := 0; step < 30000; step++ {
+			switch rng.Intn(100) {
+			case 0: // interval boundary
+				ref.Reset()
+				m.Reset()
+			case 1, 2: // checkpoint: full Hot comparison
+				want, got := ref.Hot(), m.Hot()
+				if len(want) != len(got) {
+					t.Fatalf("k=%d bits=%d step %d: Hot len %d, want %d",
+						tc.k, tc.bits, step, len(got), len(want))
+				}
+				for i := range want {
+					if want[i] != got[i] {
+						t.Fatalf("k=%d bits=%d step %d: Hot[%d] = %+v, want %+v",
+							tc.k, tc.bits, step, i, got[i], want[i])
+					}
+				}
+			default:
+				p := uint64(rng.Intn(tc.pageSpace))
+				ref.Observe(p)
+				m.Observe(p)
+				if m.Contains(p) != ref.Contains(p) {
+					t.Fatalf("k=%d bits=%d step %d: Contains(%d) diverged", tc.k, tc.bits, step, p)
+				}
+			}
+			if m.Len() != len(ref.counts) {
+				t.Fatalf("k=%d bits=%d step %d: Len = %d, want %d",
+					tc.k, tc.bits, step, m.Len(), len(ref.counts))
+			}
+		}
+	}
+}
+
+// TestMEAHotBufferReuse pins the documented aliasing contract: Hot's
+// result is valid until the next Hot call, and the tracker's internal
+// state is immune to caller writes through the returned slice.
+func TestMEAHotBufferReuse(t *testing.T) {
+	m := NewMEA(4, 64)
+	m.Observe(1)
+	m.Observe(1)
+	m.Observe(2)
+	h := m.Hot()
+	h[0].Count = 999 // caller scribbles on the buffer
+	if got := m.Hot(); got[0] != (Entry{Page: 1, Count: 2}) {
+		t.Fatalf("internal state corrupted through Hot buffer: %+v", got)
+	}
+}

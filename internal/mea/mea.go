@@ -24,16 +24,25 @@ type Tracker interface {
 	// Hot returns the tracker's current hot set, most-counted first, ties
 	// broken by ascending page ID for determinism. The length is bounded
 	// by the tracker's capacity (K for MEA, unbounded for Full Counters).
+	// The returned slice is valid until the tracker's next Hot call;
+	// callers that need it longer must copy it.
 	Hot() []Entry
 	// Reset clears all state for the next interval.
 	Reset()
 }
 
-// MEA is the Majority Element Algorithm tracker of Algorithm 1: a map of at
-// most K page entries. On an access to a tracked page its counter
-// increments (saturating at the configured width); an access to an
-// untracked page inserts it if a slot is free, otherwise every counter is
-// decremented by one and zero-count entries are evicted.
+// MEA is the Majority Element Algorithm tracker of Algorithm 1: at most K
+// page entries. On an access to a tracked page its counter increments
+// (saturating at the configured width); an access to an untracked page
+// inserts it if a slot is free, otherwise every counter is decremented by
+// one and zero-count entries are evicted.
+//
+// The representation mirrors the hardware structure rather than using a
+// Go map: the K entries live in a dense array (the "K counters"), indexed
+// by a small open-addressed table for the associative page lookup. The
+// table's occupancy is epoch-stamped, so the decrement-all rebuild and
+// Reset invalidate every slot by bumping the epoch instead of zeroing
+// memory. Steady-state Observe and Hot allocate nothing.
 //
 // Note: the paper's pseudocode inserts while |T| < K-1, which strands one
 // of the K hardware slots; we insert while |T| < K so all K counters are
@@ -42,7 +51,20 @@ type Tracker interface {
 type MEA struct {
 	k        int
 	maxCount uint64
-	counts   map[uint64]uint64
+	entries  []Entry // live entries, unordered; len <= k
+	slots    []slot  // open-addressed page -> entry index, len power of two
+	mask     uint32
+	epoch    uint32  // slots with a different stamp are empty
+	hotBuf   []Entry // reused by Hot
+	sorter   entrySorter
+}
+
+// slot is one cell of the lookup table. A slot is occupied iff its stamp
+// equals the tracker's current epoch.
+type slot struct {
+	page  uint64
+	idx   int32
+	stamp uint32
 }
 
 // NewMEA returns an MEA tracker with k entries and counterBits-wide
@@ -62,59 +84,116 @@ func NewMEA(k, counterBits int) *MEA {
 	} else {
 		max = (uint64(1) << counterBits) - 1
 	}
-	return &MEA{k: k, maxCount: max, counts: make(map[uint64]uint64, k)}
+	// Keep the probe table at most half full: power of two >= 2k.
+	cap := 16
+	for cap < 2*k {
+		cap *= 2
+	}
+	return &MEA{
+		k:        k,
+		maxCount: max,
+		entries:  make([]Entry, 0, k),
+		slots:    make([]slot, cap),
+		mask:     uint32(cap - 1),
+		epoch:    1,
+	}
 }
 
 // K returns the tracker's entry capacity.
 func (m *MEA) K() int { return m.k }
 
+// hashPage spreads page IDs over the probe table (Fibonacci hashing).
+func hashPage(p uint64) uint32 {
+	return uint32((p * 0x9E3779B97F4A7C15) >> 32)
+}
+
+// lookup returns the entry index for page p, or -1 and the probe position
+// where p would be inserted.
+func (m *MEA) lookup(p uint64) (int32, uint32) {
+	i := hashPage(p) & m.mask
+	for m.slots[i].stamp == m.epoch {
+		if m.slots[i].page == p {
+			return m.slots[i].idx, i
+		}
+		i = (i + 1) & m.mask
+	}
+	return -1, i
+}
+
+// insertSlot records page p at entry index idx in the probe table.
+func (m *MEA) insertSlot(p uint64, idx int32) {
+	i := hashPage(p) & m.mask
+	for m.slots[i].stamp == m.epoch {
+		i = (i + 1) & m.mask
+	}
+	m.slots[i] = slot{page: p, idx: idx, stamp: m.epoch}
+}
+
+// bumpEpoch empties the probe table in O(1) (O(n) only when the 32-bit
+// epoch wraps, which requires ~4 billion boundary events).
+func (m *MEA) bumpEpoch() {
+	m.epoch++
+	if m.epoch == 0 {
+		clear(m.slots)
+		m.epoch = 1
+	}
+}
+
 // Observe implements Tracker, performing one step of Algorithm 1.
 func (m *MEA) Observe(p uint64) {
-	if c, ok := m.counts[p]; ok {
-		if c < m.maxCount {
-			m.counts[p] = c + 1
+	idx, at := m.lookup(p)
+	if idx >= 0 {
+		if e := &m.entries[idx]; e.Count < m.maxCount {
+			e.Count++
 		}
 		return
 	}
-	if len(m.counts) < m.k {
-		m.counts[p] = 1
+	if len(m.entries) < m.k {
+		m.slots[at] = slot{page: p, idx: int32(len(m.entries)), stamp: m.epoch}
+		m.entries = append(m.entries, Entry{Page: p, Count: 1})
 		return
 	}
 	// Decrement-all: subtract one from every counter and evict zeros. The
 	// incoming page is not inserted; in hardware this is the single-cycle
-	// parallel subtract/compare the paper describes.
-	for q, c := range m.counts {
-		if c <= 1 {
-			delete(m.counts, q)
-		} else {
-			m.counts[q] = c - 1
+	// parallel subtract/compare the paper describes. Survivors compact in
+	// place and the probe table is rebuilt under a fresh epoch.
+	kept := m.entries[:0]
+	for _, e := range m.entries {
+		if e.Count > 1 {
+			e.Count--
+			kept = append(kept, e)
 		}
+	}
+	m.entries = kept
+	m.bumpEpoch()
+	for j := range m.entries {
+		m.insertSlot(m.entries[j].Page, int32(j))
 	}
 }
 
 // Len returns the number of live entries.
-func (m *MEA) Len() int { return len(m.counts) }
+func (m *MEA) Len() int { return len(m.entries) }
 
 // Contains reports whether page p is currently tracked. MemPod's victim
 // selection uses this to skip fast frames that already hold hot pages.
 func (m *MEA) Contains(p uint64) bool {
-	_, ok := m.counts[p]
-	return ok
+	idx, _ := m.lookup(p)
+	return idx >= 0
 }
 
-// Hot implements Tracker.
+// Hot implements Tracker. The returned slice is reused by the next Hot
+// call on this tracker.
 func (m *MEA) Hot() []Entry {
-	out := make([]Entry, 0, len(m.counts))
-	for p, c := range m.counts {
-		out = append(out, Entry{Page: p, Count: c})
-	}
-	sortEntries(out)
-	return out
+	m.hotBuf = append(m.hotBuf[:0], m.entries...)
+	m.sorter.es = m.hotBuf
+	sort.Sort(&m.sorter)
+	return m.hotBuf
 }
 
 // Reset implements Tracker.
 func (m *MEA) Reset() {
-	clear(m.counts)
+	m.entries = m.entries[:0]
+	m.bumpEpoch()
 }
 
 // FullCounters is the reference scheme: one unbounded counter per page
@@ -163,13 +242,25 @@ func (f *FullCounters) Top(n int) []Entry {
 // Reset implements Tracker.
 func (f *FullCounters) Reset() { clear(f.counts) }
 
+// entrySorter orders entries by count descending, page ascending — a
+// strict total order (pages are unique), so the result is independent of
+// the sorting algorithm. It exists as a named type so MEA.Hot can sort
+// through a pre-allocated interface value instead of sort.Slice's
+// per-call closure allocation.
+type entrySorter struct{ es []Entry }
+
+func (s *entrySorter) Len() int { return len(s.es) }
+func (s *entrySorter) Less(i, j int) bool {
+	if s.es[i].Count != s.es[j].Count {
+		return s.es[i].Count > s.es[j].Count
+	}
+	return s.es[i].Page < s.es[j].Page
+}
+func (s *entrySorter) Swap(i, j int) { s.es[i], s.es[j] = s.es[j], s.es[i] }
+
 func sortEntries(es []Entry) {
-	sort.Slice(es, func(i, j int) bool {
-		if es[i].Count != es[j].Count {
-			return es[i].Count > es[j].Count
-		}
-		return es[i].Page < es[j].Page
-	})
+	s := entrySorter{es: es}
+	sort.Sort(&s)
 }
 
 // Compile-time interface checks.

@@ -10,25 +10,31 @@ import (
 // a mechanism. It owns the address layout and exposes the two access paths
 // mechanisms need: demand/migration lines at explicit frames, and
 // bookkeeping reads against a backing-store partition in fast memory.
+//
+// Geom is the layout's precomputed form; the backend and the mechanisms
+// use it on the per-request path instead of recomputing derived geometry
+// through Layout's methods (see addr.Geom).
 type Backend struct {
 	Sys    *memsys.System
 	Layout addr.Layout
+	Geom   addr.Geom
 }
 
 // NewBackend wraps a memory system.
 func NewBackend(sys *memsys.System) *Backend {
-	return &Backend{Sys: sys, Layout: sys.Layout()}
+	l := sys.Layout()
+	return &Backend{Sys: sys, Layout: l, Geom: l.Geom()}
 }
 
 // Line services line `li` (0..31) of frame f in pod `pod` and returns the
 // completion time.
 func (b *Backend) Line(pod int, f addr.Frame, li int, write bool, at clock.Time) clock.Time {
-	return b.Sys.Access(b.Layout.FrameLocation(pod, f, li), write, at)
+	return b.Sys.Access(b.Geom.FrameLocation(pod, f, li), write, at)
 }
 
 // HomeLine services a line at its home (pre-migration) location.
 func (b *Backend) HomeLine(ln addr.Line, write bool, at clock.Time) clock.Time {
-	return b.Sys.Access(b.Layout.HomeLocation(ln), write, at)
+	return b.Sys.Access(b.Geom.HomeLocation(ln), write, at)
 }
 
 // SwapPages performs the full datapath of one page swap between frames a
@@ -80,8 +86,8 @@ func (b *Backend) SwapGlobal(slotA, slotB addr.Page, at clock.Time) clock.Time {
 // SwapGlobalChunk performs the lines [lo, hi) of a global page swap; see
 // SwapPagesChunk for why swaps are chunked.
 func (b *Backend) SwapGlobalChunk(slotA, slotB addr.Page, lo, hi int, at clock.Time) clock.Time {
-	podA, fA := b.Layout.HomeFrame(slotA)
-	podB, fB := b.Layout.HomeFrame(slotB)
+	podA, fA := b.Geom.HomeFrame(slotA)
+	podB, fB := b.Geom.HomeFrame(slotB)
 	end := at
 	for li := lo; li < hi; li++ {
 		if t := b.Line(podA, fA, li, false, at); t > end {

@@ -1,0 +1,137 @@
+package mech
+
+import "repro/internal/clock"
+
+// LockTable tracks in-flight migration locks: page (or line) keys mapped
+// to the completion time of the copy that locks them. It replaces the
+// map[key]clock.Time the mechanisms used to carry, with semantics proven
+// equivalent (TestLockTableMatchesMap) and a representation sized to the
+// data: the live lock set at any instant is a handful of entries (the
+// swaps currently in flight), so a sorted slice searched in L1 beats a
+// hash map scattered over the heap — and it allocates nothing in steady
+// state.
+//
+// The map semantics being preserved, entry by entry:
+//
+//	end, ok := locks[k]          ->  end := t.Get(k)   (0 means absent;
+//	                                 real ends are completion times > 0)
+//	delete(locks, k)             ->  t.Drop(k)
+//	if e > locks[k] {locks[k]=e} ->  t.Raise(k, e)
+//	range + delete if end <= b   ->  t.Sweep(b)
+type LockTable struct {
+	entries []lockEntry
+	// compactAt triggers MaybeCompact's pruning; it doubles with the live
+	// size so compaction is amortized O(1) per insert.
+	compactAt int
+}
+
+type lockEntry struct {
+	key uint64
+	end clock.Time
+}
+
+// find returns the insertion index for key and whether it is present.
+func (t *LockTable) find(key uint64) (int, bool) {
+	lo, hi := 0, len(t.entries)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if t.entries[mid].key < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(t.entries) && t.entries[lo].key == key
+}
+
+// Get returns the lock completion time for key, or 0 when the key is not
+// locked.
+func (t *LockTable) Get(key uint64) clock.Time {
+	if len(t.entries) == 0 {
+		return 0
+	}
+	if i, ok := t.find(key); ok {
+		return t.entries[i].end
+	}
+	return 0
+}
+
+// Drop removes key's lock if present.
+func (t *LockTable) Drop(key uint64) {
+	if i, ok := t.find(key); ok {
+		t.entries = append(t.entries[:i], t.entries[i+1:]...)
+	}
+}
+
+// Raise extends key's lock to end if that is later than its current end
+// (inserting the key if absent), mirroring the read-modify-write the
+// mechanisms perform per swap chunk.
+func (t *LockTable) Raise(key uint64, end clock.Time) {
+	i, ok := t.find(key)
+	if ok {
+		if end > t.entries[i].end {
+			t.entries[i].end = end
+		}
+		return
+	}
+	if end <= 0 {
+		return // matches `if end > locks[key]` against the map's zero value
+	}
+	t.entries = append(t.entries, lockEntry{})
+	copy(t.entries[i+1:], t.entries[i:])
+	t.entries[i] = lockEntry{key: key, end: end}
+}
+
+// Put sets key's lock to exactly end, overwriting any current value —
+// the plain map-assignment idiom (CAMEO re-locks a line at its newest
+// swap's completion, even if an older lock reached further). end must be
+// positive; a zero end would be indistinguishable from absence.
+func (t *LockTable) Put(key uint64, end clock.Time) {
+	i, ok := t.find(key)
+	if ok {
+		t.entries[i].end = end
+		return
+	}
+	t.entries = append(t.entries, lockEntry{})
+	copy(t.entries[i+1:], t.entries[i:])
+	t.entries[i] = lockEntry{key: key, end: end}
+}
+
+// Sweep removes every lock whose end is at or before boundary — the
+// interval-boundary expiry pass.
+func (t *LockTable) Sweep(boundary clock.Time) {
+	kept := t.entries[:0]
+	for _, e := range t.entries {
+		if e.end > boundary {
+			kept = append(kept, e)
+		}
+	}
+	t.entries = kept
+}
+
+// Len returns the number of locks held (for tests).
+func (t *LockTable) Len() int { return len(t.entries) }
+
+// MaybeCompact prunes locks that can never stall again, keeping the table
+// small for mechanisms with no interval boundary to sweep at (THM, CAMEO,
+// whose maps only shed an entry when its page happened to be re-accessed).
+//
+// floor must be a lower bound on every future lock query time; the
+// engine's trace-order check makes the current request's trace timestamp
+// exactly that (every future access starts at or after its own, later,
+// trace time). A pruned entry has end <= floor <= every future query
+// start, so the map would never stall on it again either — its only
+// remaining effect would be its own lazy deletion, which is unobservable.
+func (t *LockTable) MaybeCompact(floor clock.Time) {
+	if t.compactAt == 0 {
+		t.compactAt = 64
+	}
+	if len(t.entries) < t.compactAt {
+		return
+	}
+	t.Sweep(floor)
+	t.compactAt = 2 * len(t.entries)
+	if t.compactAt < 64 {
+		t.compactAt = 64
+	}
+}

@@ -1,0 +1,108 @@
+package mech
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/clock"
+)
+
+// TestLockTableMatchesMap drives a LockTable and the map[uint64]clock.Time
+// idiom it replaces through identical random operation streams and
+// requires identical observable behaviour at every step: same Get answers,
+// same post-Sweep contents.
+func TestLockTableMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var lt LockTable
+	ref := make(map[uint64]clock.Time)
+
+	checkGet := func(k uint64) {
+		t.Helper()
+		want := ref[k] // zero when absent, exactly LockTable's convention
+		if got := lt.Get(k); got != want {
+			t.Fatalf("Get(%d) = %d, want %d", k, got, want)
+		}
+	}
+
+	const keys = 40
+	for step := 0; step < 50000; step++ {
+		k := uint64(rng.Intn(keys))
+		switch rng.Intn(6) {
+		case 0, 1: // Raise, as executeSwap does per chunk
+			end := clock.Time(1 + rng.Intn(1000))
+			if end > ref[k] {
+				ref[k] = end
+			}
+			lt.Raise(k, end)
+		case 2: // access-path expiry: Get then Drop if expired
+			start := clock.Time(rng.Intn(1000))
+			checkGet(k)
+			if end, ok := ref[k]; ok && end <= start {
+				delete(ref, k)
+				lt.Drop(k)
+			}
+		case 3: // boundary sweep
+			b := clock.Time(rng.Intn(1000))
+			for k, end := range ref {
+				if end <= b {
+					delete(ref, k)
+				}
+			}
+			lt.Sweep(b)
+		case 4:
+			checkGet(k)
+		case 5: // overwriting assignment, as CAMEO's swap path does
+			end := clock.Time(1 + rng.Intn(1000))
+			ref[k] = end
+			lt.Put(k, end)
+		}
+		if lt.Len() != len(ref) {
+			t.Fatalf("step %d: Len = %d, map has %d", step, lt.Len(), len(ref))
+		}
+	}
+	for k := uint64(0); k < keys; k++ {
+		checkGet(k)
+	}
+}
+
+// TestLockTableCompact checks that MaybeCompact prunes only entries at or
+// below the floor and leaves future-relevant locks intact.
+func TestLockTableCompact(t *testing.T) {
+	var lt LockTable
+	for k := uint64(0); k < 200; k++ {
+		lt.Raise(k, clock.Time(k+1))
+	}
+	lt.MaybeCompact(100) // len 200 >= initial threshold 64
+	if lt.Len() != 100 {
+		t.Fatalf("after compact at floor 100: Len = %d, want 100", lt.Len())
+	}
+	for k := uint64(0); k < 200; k++ {
+		want := clock.Time(0)
+		if k+1 > 100 {
+			want = clock.Time(k + 1)
+		}
+		if got := lt.Get(k); got != want {
+			t.Fatalf("Get(%d) = %d, want %d", k, got, want)
+		}
+	}
+	// Below the (doubled) threshold nothing is pruned.
+	lt.MaybeCompact(1000)
+	if lt.Len() != 100 {
+		t.Fatalf("compact fired below threshold: Len = %d", lt.Len())
+	}
+}
+
+// TestLockTableRaiseKeepsLaterEnd pins the read-modify-write semantics:
+// raising to an earlier end must not shorten a lock.
+func TestLockTableRaiseKeepsLaterEnd(t *testing.T) {
+	var lt LockTable
+	lt.Raise(5, 100)
+	lt.Raise(5, 50)
+	if got := lt.Get(5); got != 100 {
+		t.Fatalf("Get(5) = %d, want 100", got)
+	}
+	lt.Raise(5, 150)
+	if got := lt.Get(5); got != 150 {
+		t.Fatalf("Get(5) = %d, want 150", got)
+	}
+}

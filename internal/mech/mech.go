@@ -28,6 +28,23 @@ type Mechanism interface {
 	Stats() MigStats
 }
 
+// Releaser is optionally implemented by mechanisms whose bookkeeping
+// tables recycle through internal/tab pools. Callers that construct many
+// mechanisms in sequence (the experiment matrix) call Release after the
+// last use of a mechanism so the next cell reuses its tables instead of
+// allocating and initializing tens of megabytes; callers that don't are
+// merely slower. A released mechanism must not be used again.
+type Releaser interface {
+	Release()
+}
+
+// Release releases m's pooled tables if it has any.
+func Release(m Mechanism) {
+	if r, ok := m.(Releaser); ok {
+		r.Release()
+	}
+}
+
 // MigStats counts migration and bookkeeping activity.
 type MigStats struct {
 	Intervals         uint64 // interval boundaries processed

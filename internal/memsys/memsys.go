@@ -93,6 +93,7 @@ func (s *System) aggregate(lo, hi int) LevelStats {
 		out.RowClosed += cs.RowClosed
 		out.RowConflicts += cs.RowConflicts
 		out.BusBusy += cs.BusBusy
+		out.Refreshes += cs.Refreshes
 		if cs.LastFinish > out.LastFinish {
 			out.LastFinish = cs.LastFinish
 		}

@@ -76,6 +76,31 @@ func TestStatsRouteToCorrectLevel(t *testing.T) {
 	}
 }
 
+func TestAggregateCountsRefreshes(t *testing.T) {
+	// Refresh-enabled system: level stats must carry the per-channel
+	// Refreshes counters through aggregation (they were dropped once).
+	s := MustNew(addr.DefaultLayout(), dram.HBM().WithRefresh(), dram.DDR4_1600().WithRefresh())
+	l := s.Layout()
+	at := clock.Time(dram.HBM().WithRefresh().RefreshInterval) + clock.Time(clock.Nanosecond)
+	s.Access(l.HomeLocation(0), false, at)
+	slowLn := addr.Line(uint64(l.FastPages()) * addr.LinesPerPage)
+	s.Access(l.HomeLocation(slowLn), false, at)
+	if got := s.FastStats().Refreshes; got == 0 {
+		t.Error("fast level refreshes not aggregated")
+	}
+	if got := s.SlowStats().Refreshes; got == 0 {
+		t.Error("slow level refreshes not aggregated")
+	}
+	// Per-channel truth must equal the two level sums.
+	var want uint64
+	for ch := 0; ch < s.NumChannels(); ch++ {
+		want += s.ChannelStats(ch).Refreshes
+	}
+	if got := s.FastStats().Refreshes + s.SlowStats().Refreshes; got != want {
+		t.Errorf("aggregated refreshes = %d, channel sum = %d", got, want)
+	}
+}
+
 func TestChannelParallelismAcrossPods(t *testing.T) {
 	// Simultaneous accesses to different channels should all complete at
 	// the same (fast) time; piling them on one channel must serialize.

@@ -49,6 +49,9 @@ func (e *Engine) Run(workload string, s trace.Stream) (stats.Result, error) {
 	res := stats.Result{Workload: workload, Mechanism: e.m.Name()}
 	var r trace.Request
 	var lastArrival clock.Time
+	// The ring position is a wrapping counter rather than Requests%window:
+	// the modulo would be two 64-bit divisions per request.
+	ringPos := 0
 	for s.Next(&r) {
 		if r.Time < lastArrival {
 			return res, fmt.Errorf("sim: trace out of order at request %d (%v < %v)",
@@ -60,7 +63,7 @@ func (e *Engine) Run(workload string, s trace.Stream) (stats.Result, error) {
 		if ring != nil {
 			// The request cannot issue until the request `window` back
 			// has completed.
-			if gate := ring[res.Requests%uint64(window)]; gate > at {
+			if gate := ring[ringPos]; gate > at {
 				at = gate
 			}
 		}
@@ -70,7 +73,10 @@ func (e *Engine) Run(workload string, s trace.Stream) (stats.Result, error) {
 				e.m.Name(), done, at)
 		}
 		if ring != nil {
-			ring[res.Requests%uint64(window)] = done
+			ring[ringPos] = done
+			if ringPos++; ringPos == window {
+				ringPos = 0
+			}
 		}
 
 		res.Requests++

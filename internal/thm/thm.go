@@ -12,8 +12,8 @@
 package thm
 
 import (
-	"container/heap"
 	"fmt"
+	"sync"
 
 	"repro/internal/addr"
 	"repro/internal/clock"
@@ -56,10 +56,15 @@ func (c Config) Validate() error {
 // competing counter.
 //
 // Members: 0 is the segment's fast page; 1..R are its slow pages. Slots
-// use the same numbering for positions. The permutation is the identity
-// until a swap occurs.
+// use the same numbering for positions. Two encodings keep a freshly
+// acquired segment array free of any initialization pass: a slots word of
+// 0 denotes the identity permutation (an all-zero word is never a valid
+// permutation for >= 2 members), and a segment whose gen differs from the
+// mechanism's is in its zero state regardless of the array's old contents
+// (see segArena).
 type segment struct {
-	slots      uint64 // 4 bits per slot, slot 0 = fast slot
+	slots      uint64 // 4 bits per slot, slot 0 = fast slot; 0 = identity
+	gen        uint32 // matches THM.gen once the segment is live this run
 	counter    uint8
 	challenger uint8 // member index; 0 = none
 }
@@ -74,23 +79,71 @@ func identitySlots(members int) uint64 {
 	return s
 }
 
-func (s *segment) memberAt(slot int) int {
-	return int(s.slots >> (4 * slot) & 0xF)
+func memberAt(slots uint64, slot int) int {
+	return int(slots >> (4 * slot) & 0xF)
 }
 
-func (s *segment) slotOf(member, members int) int {
+func slotOfMember(slots uint64, member, members int) int {
 	for slot := 0; slot < members; slot++ {
-		if s.memberAt(slot) == member {
+		if memberAt(slots, slot) == member {
 			return slot
 		}
 	}
 	panic("thm: corrupt segment permutation")
 }
 
-func (s *segment) swapSlots(a, b int) {
-	ma, mb := uint64(s.memberAt(a)), uint64(s.memberAt(b))
-	s.slots &^= 0xF<<(4*a) | 0xF<<(4*b)
-	s.slots |= mb<<(4*a) | ma<<(4*b)
+func swapSlotsVal(slots uint64, a, b int) uint64 {
+	ma, mb := uint64(memberAt(slots, a)), uint64(memberAt(slots, b))
+	slots &^= 0xF<<(4*a) | 0xF<<(4*b)
+	return slots | mb<<(4*a) | ma<<(4*b)
+}
+
+// segArena is a pooled segment array. Rather than zeroing megabytes per
+// simulation cell, each acquisition bumps the arena's generation; segments
+// stamped with an older generation read as zero and are lazily
+// materialized on first touch. Pool reuse is indistinguishable from a
+// fresh allocation.
+type segArena struct {
+	segs []segment
+	gen  uint32
+}
+
+var segPool struct {
+	mu   sync.Mutex
+	free map[int][]*segArena
+}
+
+const maxPooledArenas = 16
+
+func acquireSegs(n int) *segArena {
+	segPool.mu.Lock()
+	var a *segArena
+	if l := segPool.free[n]; len(l) > 0 {
+		a = l[len(l)-1]
+		segPool.free[n] = l[:len(l)-1]
+	}
+	segPool.mu.Unlock()
+	if a == nil {
+		a = &segArena{segs: make([]segment, n)}
+	}
+	a.gen++
+	if a.gen == 0 { // uint32 wraparound: stale stamps could read current
+		clear(a.segs)
+		a.gen = 1
+	}
+	return a
+}
+
+func releaseSegs(a *segArena) {
+	n := len(a.segs)
+	segPool.mu.Lock()
+	if segPool.free == nil {
+		segPool.free = make(map[int][]*segArena)
+	}
+	if len(segPool.free[n]) < maxPooledArenas {
+		segPool.free[n] = append(segPool.free[n], a)
+	}
+	segPool.mu.Unlock()
 }
 
 // segmentStateBytes models the SRT entry size for the cache: 8-bit
@@ -117,19 +170,53 @@ type swapChunk struct {
 	chunk        uint8
 }
 
-// chunkHeap orders swap chunks by start time.
-type chunkHeap []swapChunk
+// chunkQueue is a min-heap of swap chunks by start time. It transcribes
+// container/heap's sift algorithms onto the concrete type: start times
+// tie (chunks of concurrent swaps share paced offsets), so the pop order
+// among equal keys is a property of the exact heap algorithm and is
+// observable through lock and channel state. A different — even valid —
+// heap would reorder tied chunks and change simulated timings.
+type chunkQueue []swapChunk
 
-func (h chunkHeap) Len() int           { return len(h) }
-func (h chunkHeap) Less(i, j int) bool { return h[i].start < h[j].start }
-func (h chunkHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *chunkHeap) Push(x any)        { *h = append(*h, x.(swapChunk)) }
-func (h *chunkHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (q *chunkQueue) push(c swapChunk) {
+	*q = append(*q, c)
+	// container/heap.Push: up(len-1).
+	h := *q
+	j := len(h) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(h[j].start < h[i].start) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (q *chunkQueue) pop() swapChunk {
+	// container/heap.Pop: Swap(0, n-1), down(0, n-1), strip the tail.
+	h := *q
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h[j2].start < h[j1].start {
+			j = j2
+		}
+		if !(h[j].start < h[i].start) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	c := h[n]
+	*q = h[:n]
+	return c
 }
 
 // THM implements mech.Mechanism.
@@ -137,15 +224,21 @@ type THM struct {
 	cfg      Config
 	backend  *mech.Backend
 	layout   addr.Layout
+	geom     *addr.Geom
+	arena    *segArena
 	segments []segment
-	members  int                   // 1 + slow:fast ratio
-	locks    map[uint64]clock.Time // flat page -> swap completion
+	gen      uint32
+	members  int // 1 + slow:fast ratio
+	idSlots  uint64
+	fast     uint64 // fast page count
+	dFast    addr.Divisor
+	locks    mech.LockTable // flat page -> swap completion
 	cache    *mech.Cache
 	touch    mech.TouchFilter
 	stats    mech.MigStats
 	maxCount uint8
 
-	queue chunkHeap
+	queue chunkQueue
 }
 
 // New builds a THM over the backend's two-level memory. The slow capacity
@@ -165,18 +258,20 @@ func New(cfg Config, b *mech.Backend) (*THM, error) {
 	if ratio+1 > 16 {
 		return nil, fmt.Errorf("thm: ratio %d exceeds 4-bit member encoding", ratio)
 	}
+	arena := acquireSegs(int(l.FastPages()))
 	t := &THM{
 		cfg:      cfg,
 		backend:  b,
 		layout:   l,
-		segments: make([]segment, l.FastPages()),
+		geom:     &b.Geom,
+		arena:    arena,
+		segments: arena.segs,
+		gen:      arena.gen,
 		members:  ratio + 1,
-		locks:    make(map[uint64]clock.Time),
+		idSlots:  identitySlots(ratio + 1),
+		fast:     uint64(l.FastPages()),
+		dFast:    addr.NewDivisor(uint64(l.FastPages())),
 		maxCount: uint8(1)<<cfg.CounterBits - 1,
-	}
-	id := identitySlots(t.members)
-	for i := range t.segments {
-		t.segments[i].slots = id
 	}
 	if cfg.CacheBytes > 0 {
 		if cfg.CacheWays <= 0 {
@@ -202,14 +297,28 @@ func (t *THM) Name() string { return "THM" }
 // Stats implements mech.Mechanism.
 func (t *THM) Stats() mech.MigStats { return t.stats }
 
+// Release implements mech.Releaser; the mechanism must not be used after.
+func (t *THM) Release() {
+	releaseSegs(t.arena)
+	t.arena, t.segments = nil, nil
+}
+
+// effSlots returns the segment's permutation word, decoding the zero
+// sentinel. The segment must already be materialized (gen checked).
+func (t *THM) effSlots(s *segment) uint64 {
+	if s.slots == 0 {
+		return t.idSlots
+	}
+	return s.slots
+}
+
 // segmentOf decomposes a flat page into (segment, member).
 func (t *THM) segmentOf(p addr.Page) (seg uint64, member int) {
-	fast := uint64(t.layout.FastPages())
-	if uint64(p) < fast {
+	if uint64(p) < t.fast {
 		return uint64(p), 0
 	}
-	s := uint64(p) - fast
-	return s % fast, 1 + int(s/fast)
+	s := uint64(p) - t.fast
+	return t.dFast.Mod(s), 1 + int(t.dFast.Div(s))
 }
 
 // pageOf is the inverse of segmentOf.
@@ -217,16 +326,22 @@ func (t *THM) pageOf(seg uint64, member int) addr.Page {
 	if member == 0 {
 		return addr.Page(seg)
 	}
-	fast := uint64(t.layout.FastPages())
-	return addr.Page(fast + seg + uint64(member-1)*fast)
+	return addr.Page(t.fast + seg + uint64(member-1)*t.fast)
 }
 
 // Access implements mech.Mechanism.
 func (t *THM) Access(r *trace.Request, at clock.Time) clock.Time {
 	t.drain(at)
+	// Locks only shed entries when their page is re-accessed; compact the
+	// table occasionally using the trace clock as the expiry floor (no
+	// future request can query a lock before its own, later, trace time).
+	t.locks.MaybeCompact(r.Time)
 	page := addr.PageOf(addr.Addr(r.Addr))
 	seg, member := t.segmentOf(page)
 	s := &t.segments[seg]
+	if s.gen != t.gen {
+		*s = segment{gen: t.gen} // lazily materialize the zero state
+	}
 
 	start := at
 	if t.cache != nil {
@@ -239,16 +354,16 @@ func (t *THM) Access(r *trace.Request, at clock.Time) clock.Time {
 		}
 	}
 	var lockEnd clock.Time
-	if end, locked := t.locks[uint64(page)]; locked {
+	if end := t.locks.Get(uint64(page)); end != 0 {
 		if end > start {
 			lockEnd = end
 			t.stats.LockStalls++
 		} else {
-			delete(t.locks, uint64(page))
+			t.locks.Drop(uint64(page))
 		}
 	}
 
-	slot := s.slotOf(member, t.members)
+	slot := slotOfMember(t.effSlots(s), member, t.members)
 	// Competing-counter update, once per page touch; may trigger a swap
 	// *after* this access.
 	trigger := false
@@ -258,7 +373,7 @@ func (t *THM) Access(r *trace.Request, at clock.Time) clock.Time {
 
 	// Service the request at the member's current slot.
 	slotPage := t.pageOf(seg, slot)
-	pod, f := t.layout.HomeFrame(slotPage)
+	pod, f := t.geom.HomeFrame(slotPage)
 	li := int(uint64(addr.LineOf(addr.Addr(r.Addr))) % addr.LinesPerPage)
 	done := clock.Max(t.backend.Line(pod, f, li, r.Write, start), lockEnd)
 
@@ -311,11 +426,12 @@ func (t *THM) swap(seg uint64, s *segment, winnerSlot int, at clock.Time) {
 	fastSlotPage := t.pageOf(seg, 0)
 	winnerSlotPage := t.pageOf(seg, winnerSlot)
 	// The data pages being moved are the members occupying those slots.
-	evicted := t.pageOf(seg, s.memberAt(0))
-	winner := t.pageOf(seg, s.memberAt(winnerSlot))
-	s.swapSlots(0, winnerSlot)
+	slots := t.effSlots(s)
+	evicted := t.pageOf(seg, memberAt(slots, 0))
+	winner := t.pageOf(seg, memberAt(slots, winnerSlot))
+	s.slots = swapSlotsVal(slots, 0, winnerSlot)
 	for ch := 0; ch < swapChunks; ch++ {
-		heap.Push(&t.queue, swapChunk{
+		t.queue.push(swapChunk{
 			start: at + clock.Duration(ch)*chunkGap,
 			slotA: fastSlotPage, slotB: winnerSlotPage,
 			lockA: evicted, lockB: winner,
@@ -330,18 +446,14 @@ func (t *THM) swap(seg uint64, s *segment, winnerSlot int, at clock.Time) {
 // start order.
 func (t *THM) drain(now clock.Time) {
 	for len(t.queue) > 0 && t.queue[0].start <= now {
-		c := heap.Pop(&t.queue).(swapChunk)
+		c := t.queue.pop()
 		lo := int(c.chunk) * linesPerChunk
 		end := t.backend.SwapGlobalChunk(c.slotA, c.slotB, lo, lo+linesPerChunk, c.start)
 		t.stats.LineMigrations += 2 * linesPerChunk
 		t.stats.BytesMoved += 2 * linesPerChunk * addr.LineBytes
 		t.stats.GlobalMoveLines += 2 * linesPerChunk
-		if end > t.locks[uint64(c.lockA)] {
-			t.locks[uint64(c.lockA)] = end
-		}
-		if end > t.locks[uint64(c.lockB)] {
-			t.locks[uint64(c.lockB)] = end
-		}
+		t.locks.Raise(uint64(c.lockA), end)
+		t.locks.Raise(uint64(c.lockB), end)
 	}
 }
 
@@ -349,9 +461,13 @@ func (t *THM) drain(now clock.Time) {
 // permutation of its members. O(memory); intended for tests.
 func (t *THM) CheckInvariants() error {
 	for i := range t.segments {
+		slots := t.idSlots
+		if s := &t.segments[i]; s.gen == t.gen && s.slots != 0 {
+			slots = s.slots
+		}
 		var seen uint16
 		for slot := 0; slot < t.members; slot++ {
-			m := t.segments[i].memberAt(slot)
+			m := memberAt(slots, slot)
 			if m >= t.members {
 				return fmt.Errorf("thm: segment %d slot %d holds invalid member %d", i, slot, m)
 			}
@@ -368,7 +484,14 @@ func (t *THM) CheckInvariants() error {
 // within its segment, for tests.
 func (t *THM) SlotOfPage(p addr.Page) int {
 	seg, member := t.segmentOf(p)
-	return t.segments[seg].slotOf(member, t.members)
+	slots := t.idSlots
+	if s := &t.segments[seg]; s.gen == t.gen && s.slots != 0 {
+		slots = s.slots
+	}
+	return slotOfMember(slots, member, t.members)
 }
 
-var _ mech.Mechanism = (*THM)(nil)
+var (
+	_ mech.Mechanism = (*THM)(nil)
+	_ mech.Releaser  = (*THM)(nil)
+)

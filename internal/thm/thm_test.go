@@ -213,18 +213,18 @@ func TestRejectsSingleLevel(t *testing.T) {
 }
 
 func TestSegmentPermutationHelpers(t *testing.T) {
-	s := segment{slots: identitySlots(9)}
+	slots := identitySlots(9)
 	for i := 0; i < 9; i++ {
-		if s.memberAt(i) != i || s.slotOf(i, 9) != i {
+		if memberAt(slots, i) != i || slotOfMember(slots, i, 9) != i {
 			t.Fatalf("identity broken at %d", i)
 		}
 	}
-	s.swapSlots(0, 4)
-	if s.memberAt(0) != 4 || s.memberAt(4) != 0 {
-		t.Fatal("swapSlots wrong")
+	slots = swapSlotsVal(slots, 0, 4)
+	if memberAt(slots, 0) != 4 || memberAt(slots, 4) != 0 {
+		t.Fatal("swapSlotsVal wrong")
 	}
-	s.swapSlots(0, 4)
-	if s.slots != identitySlots(9) {
+	slots = swapSlotsVal(slots, 0, 4)
+	if slots != identitySlots(9) {
 		t.Fatal("double swap is not identity")
 	}
 }

@@ -1,0 +1,40 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+)
+
+// BenchmarkMergeStreamNext measures the 8-way merge that feeds every
+// simulation: one Next per simulated request.
+func BenchmarkMergeStreamNext(b *testing.B) {
+	const cores = 8
+	mk := func(core int) []Request {
+		reqs := make([]Request, 4096)
+		t := clock.Time(core)
+		for i := range reqs {
+			t += clock.Time(7 + (i*core)%23)
+			reqs[i] = Request{Addr: uint64(i), Time: t, Core: uint8(core)}
+		}
+		return reqs
+	}
+	slices := make([]*SliceStream, cores)
+	for c := range slices {
+		slices[c] = NewSliceStream(mk(c))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var r Request
+	var m *MergeStream
+	for i := 0; i < b.N; i++ {
+		if m == nil || !m.Next(&r) {
+			srcs := make([]Stream, cores)
+			for c, s := range slices {
+				s.Reset()
+				srcs[c] = s
+			}
+			m = NewMergeStream(srcs...)
+		}
+	}
+}

@@ -92,41 +92,62 @@ func (l *LimitStream) Next(r *Request) bool {
 // MergeStream merges several timestamp-ordered streams into one
 // timestamp-ordered stream. It is how per-core generators compose into an
 // 8-core multi-programmed trace.
+//
+// Live sources are kept dense: an exhausted source is removed by an
+// order-preserving compaction, so Next scans exactly the live heads with
+// no per-source liveness check. Ties break toward the earliest-registered
+// source, same as scanning all sources in registration order — compaction
+// preserves the live sources' relative order, so the tie-break is
+// unchanged by removals.
 type MergeStream struct {
-	srcs    []Stream
-	heads   []Request
-	present []bool
+	srcs  []Stream
+	heads []Request
+	// times shadows heads[i].Time densely: the per-Next minimum scan runs
+	// over 8-byte entries (all 8 cores' heads share one cache line)
+	// instead of striding across whole Request structs.
+	times []clock.Time
 }
 
 // NewMergeStream returns a merged Stream over srcs. Each source must be
 // individually ordered by Time.
 func NewMergeStream(srcs ...Stream) *MergeStream {
 	m := &MergeStream{
-		srcs:    srcs,
-		heads:   make([]Request, len(srcs)),
-		present: make([]bool, len(srcs)),
+		srcs:  make([]Stream, 0, len(srcs)),
+		heads: make([]Request, len(srcs)),
+		times: make([]clock.Time, 0, len(srcs)),
 	}
-	for i, s := range srcs {
-		m.present[i] = s.Next(&m.heads[i])
+	for _, s := range srcs {
+		if s.Next(&m.heads[len(m.srcs)]) {
+			m.srcs = append(m.srcs, s)
+			m.times = append(m.times, m.heads[len(m.times)].Time)
+		}
 	}
+	m.heads = m.heads[:len(m.srcs)]
 	return m
 }
 
 // Next implements Stream.
 func (m *MergeStream) Next(r *Request) bool {
-	best := -1
-	for i, ok := range m.present {
-		if !ok {
-			continue
-		}
-		if best < 0 || m.heads[i].Time < m.heads[best].Time {
-			best = i
-		}
-	}
-	if best < 0 {
+	times := m.times
+	if len(times) == 0 {
 		return false
 	}
+	best, bt := 0, times[0]
+	for i := 1; i < len(times); i++ {
+		if times[i] < bt {
+			best, bt = i, times[i]
+		}
+	}
 	*r = m.heads[best]
-	m.present[best] = m.srcs[best].Next(&m.heads[best])
+	if m.srcs[best].Next(&m.heads[best]) {
+		times[best] = m.heads[best].Time
+	} else {
+		copy(m.heads[best:], m.heads[best+1:])
+		copy(m.srcs[best:], m.srcs[best+1:])
+		copy(times[best:], times[best+1:])
+		m.heads = m.heads[:len(m.heads)-1]
+		m.srcs = m.srcs[:len(m.srcs)-1]
+		m.times = times[:len(times)-1]
+	}
 	return true
 }

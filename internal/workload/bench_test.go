@@ -1,0 +1,27 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// BenchmarkGeneratorNext measures raw synthetic-trace production — one
+// call per simulated request. The generator's random sequence is pinned by
+// the determinism tests, so this path is measured, not restructured.
+func BenchmarkGeneratorNext(b *testing.B) {
+	p, ok := ByName("cactus")
+	if !ok {
+		b.Fatal("profile cactus not found")
+	}
+	g, err := NewGenerator(p, 0, 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var r trace.Request
+	for i := 0; i < b.N; i++ {
+		g.Next(&r)
+	}
+}

@@ -1,0 +1,163 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// document, so benchmark numbers can be archived per commit and diffed
+// across runs (CI uploads results/bench.json as a workflow artifact).
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. ./... | benchjson -o results/bench.json
+//	benchjson -i bench.txt -o results/bench.json
+//
+// Non-benchmark lines (test framework chatter, PASS/ok trailers) are
+// ignored, so the raw `go test` stream can be piped in unfiltered.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one measured benchmark result line.
+type Benchmark struct {
+	// Pkg is the import path the benchmark ran in (from the preceding
+	// "pkg:" header line; empty if the stream had none).
+	Pkg string `json:"pkg,omitempty"`
+	// Name is the benchmark name with the -<procs> GOMAXPROCS suffix
+	// stripped, e.g. "BenchmarkMatrix/j=4".
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix of the raw name (1 if absent).
+	Procs int `json:"procs"`
+	// Iterations is b.N for the measurement.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit to value: "ns/op", "B/op", "allocs/op", plus any
+	// custom b.ReportMetric units.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		in  = flag.String("i", "", "input file (default stdin)")
+		out = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	r := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	rep, err := Parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines in input"))
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+// Parse reads a `go test -bench` text stream and extracts every
+// benchmark result line, carrying the goos/goarch/cpu/pkg headers along.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok, err := parseLine(line)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				b.Pkg = pkg
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseLine parses one result line of the form
+//
+//	BenchmarkName-8   20   51700000 ns/op   1234 B/op   56 allocs/op
+//
+// ok=false (without error) means the line is not a result — e.g. the bare
+// "BenchmarkFoo" name echo that precedes output when -v is set.
+func parseLine(line string) (Benchmark, bool, error) {
+	f := strings.Fields(line)
+	// A result line has the name, b.N, and at least one value-unit pair.
+	if len(f) < 4 || (len(f)-2)%2 != 0 {
+		return Benchmark{}, false, nil
+	}
+	b := Benchmark{Name: f[0], Procs: 1, Metrics: make(map[string]float64, (len(f)-2)/2)}
+	if i := strings.LastIndex(b.Name, "-"); i >= 0 {
+		if p, err := strconv.Atoi(b.Name[i+1:]); err == nil && p > 0 {
+			b.Procs = p
+			b.Name = b.Name[:i]
+		}
+	}
+	n, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false, nil // name-like line, not a result
+	}
+	b.Iterations = n
+	for i := 2; i < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false, fmt.Errorf("bad value %q in line %q", f[i], line)
+		}
+		b.Metrics[f[i+1]] = v
+	}
+	return b, true, nil
+}

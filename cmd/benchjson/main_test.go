@@ -1,0 +1,83 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/exp
+cpu: AMD EPYC 7B13
+BenchmarkMatrix/j=1-8         	      21	  51700042 ns/op	       0 B/op	       0 allocs/op
+BenchmarkMatrix/j=4-8         	      80	  14210000 ns/op
+PASS
+ok  	repro/internal/exp	3.211s
+pkg: repro/internal/trace
+BenchmarkSnapshotReplay       	138000000	         8.612 ns/op	       0 B/op	       0 allocs/op
+BenchmarkVerbose
+BenchmarkVerbose-8            	     100	    123456 ns/op	        42.50 custom/op
+PASS
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.CPU != "AMD EPYC 7B13" {
+		t.Errorf("headers wrong: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+
+	m := rep.Benchmarks[0]
+	if m.Pkg != "repro/internal/exp" || m.Name != "BenchmarkMatrix/j=1" || m.Procs != 8 {
+		t.Errorf("first benchmark identity wrong: %+v", m)
+	}
+	if m.Iterations != 21 || m.Metrics["ns/op"] != 51700042 || m.Metrics["allocs/op"] != 0 {
+		t.Errorf("first benchmark numbers wrong: %+v", m)
+	}
+	if len(m.Metrics) != 3 {
+		t.Errorf("first benchmark has %d metrics, want 3", len(m.Metrics))
+	}
+
+	if j4 := rep.Benchmarks[1]; j4.Name != "BenchmarkMatrix/j=4" || len(j4.Metrics) != 1 {
+		t.Errorf("second benchmark wrong: %+v", j4)
+	}
+
+	// An un-suffixed name (GOMAXPROCS=1 runs print none) keeps Procs=1 and
+	// picks up the later pkg header.
+	r := rep.Benchmarks[2]
+	if r.Pkg != "repro/internal/trace" || r.Name != "BenchmarkSnapshotReplay" || r.Procs != 1 {
+		t.Errorf("replay benchmark wrong: %+v", r)
+	}
+	if r.Metrics["ns/op"] != 8.612 {
+		t.Errorf("fractional ns/op lost: %+v", r.Metrics)
+	}
+
+	// -v mode echoes the bare name before the result line; only the result
+	// counts, and custom ReportMetric units survive.
+	v := rep.Benchmarks[3]
+	if v.Name != "BenchmarkVerbose" || v.Metrics["custom/op"] != 42.5 {
+		t.Errorf("verbose benchmark wrong: %+v", v)
+	}
+}
+
+func TestParseRejectsMangledValues(t *testing.T) {
+	_, err := Parse(strings.NewReader("BenchmarkX-8 10 abc ns/op\n"))
+	if err == nil {
+		t.Fatal("mangled value accepted")
+	}
+}
+
+func TestParseEmptyInput(t *testing.T) {
+	rep, err := Parse(strings.NewReader("random chatter\nPASS\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("benchmarks from chatter: %+v", rep.Benchmarks)
+	}
+}

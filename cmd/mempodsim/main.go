@@ -4,7 +4,13 @@
 // Usage:
 //
 //	mempodsim -workload mix5 -mech MemPod -requests 1000000
+//	mempodsim -workload mix5 -trace-out mix5.snap   # record the trace too
+//	mempodsim -trace-in mix5.snap -mech HMA         # replay a saved trace
 //	mempodsim -list
+//
+// -compare records the workload's trace once and replays the packed
+// snapshot under every mechanism, so the trace front-end cost is paid a
+// single time instead of once per mechanism.
 package main
 
 import (
@@ -38,6 +44,8 @@ func main() {
 		list     = flag.Bool("list", false, "list workloads and exit")
 		compare  = flag.Bool("compare", false, "run all mechanisms on the workload and tabulate")
 		custom   = flag.String("custom", "", "JSON file defining a custom workload (overrides -workload)")
+		traceIn  = flag.String("trace-in", "", "replay a recorded trace snapshot (overrides -workload/-requests/-seed)")
+		traceOut = flag.String("trace-out", "", "record the generated trace to this snapshot file")
 		parallel = flag.Int("j", 0, "-compare: max concurrent simulations (0 = GOMAXPROCS)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -60,8 +68,16 @@ func main() {
 		return
 	}
 
+	// Resolve a recorded trace when one is loaded, saved, or shared across
+	// a -compare run; tr == nil keeps the plain generate-and-run path.
+	tr, err := resolveTrace(*traceIn, *traceOut, *compare, *wl, *custom, *requests, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mempodsim:", err)
+		os.Exit(1)
+	}
+
 	if *compare {
-		if err := runCompare(*wl, *custom, *requests, *seed, *future, *parallel); err != nil {
+		if err := runCompare(tr, *requests, *seed, *future, *parallel); err != nil {
 			fmt.Fprintln(os.Stderr, "mempodsim:", err)
 			os.Exit(1)
 		}
@@ -81,7 +97,12 @@ func main() {
 		},
 		HMA: mempod.HMAOptions{CacheBytes: *cache},
 	}
-	res, err := runOne(*wl, *custom, opts)
+	var res mempod.Result
+	if tr != nil {
+		res, err = mempod.RunTrace(tr, opts)
+	} else {
+		res, err = runOne(*wl, *custom, opts)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mempodsim:", err)
 		os.Exit(1)
@@ -119,9 +140,64 @@ func runOne(wl, customPath string, o mempod.Options) (mempod.Result, error) {
 	return mempod.RunCustom(f, o)
 }
 
-// runCompare tabulates every mechanism on one workload, running the
-// mechanisms concurrently (each run builds its own simulator state).
-func runCompare(wl, customPath string, requests int, seed int64, future bool, parallelism int) error {
+// resolveTrace loads, records and/or saves the run's trace snapshot.
+// A trace materializes when -trace-in names a file to replay, when
+// -trace-out asks for the generation to be captured, or for -compare,
+// which records once and replays the snapshot under every mechanism.
+func resolveTrace(traceIn, traceOut string, compare bool, wl, customPath string, requests int, seed int64) (*mempod.Trace, error) {
+	var tr *mempod.Trace
+	switch {
+	case traceIn != "":
+		f, err := os.Open(traceIn)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if tr, err = mempod.ReadTrace(f); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "mempodsim: replaying %s (%d requests, %.1f MB packed) from %s\n",
+			tr.Name(), tr.Requests(), float64(tr.Size())/(1<<20), traceIn)
+	case traceOut != "" || compare:
+		var err error
+		if customPath != "" {
+			f, oerr := os.Open(customPath)
+			if oerr != nil {
+				return nil, oerr
+			}
+			tr, err = mempod.RecordCustomTrace(f, requests, seed)
+			f.Close()
+		} else {
+			tr, err = mempod.RecordTrace(wl, requests, seed)
+		}
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, nil
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return nil, err
+		}
+		if err := tr.Save(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "mempodsim: wrote %s (%d requests, %.1f MB packed) to %s\n",
+			tr.Name(), tr.Requests(), float64(tr.Size())/(1<<20), traceOut)
+	}
+	return tr, nil
+}
+
+// runCompare tabulates every mechanism on one recorded trace, replaying
+// the shared packed snapshot concurrently (each run still builds its own
+// simulator state; only the immutable snapshot is shared).
+func runCompare(tr *mempod.Trace, requests int, seed int64, future bool, parallelism int) error {
 	tasks := make([]runner.Task[mempod.Result], len(compareOrder))
 	for i, m := range compareOrder {
 		m := m
@@ -136,7 +212,7 @@ func runCompare(wl, customPath string, requests int, seed int64, future bool, pa
 		}
 		tasks[i] = runner.Task[mempod.Result]{
 			Key: string(m),
-			Run: func() (mempod.Result, error) { return runOne(wl, customPath, o) },
+			Run: func() (mempod.Result, error) { return mempod.RunTrace(tr, o) },
 		}
 	}
 	results, err := runner.Run(tasks, runner.Options{Parallelism: parallelism})

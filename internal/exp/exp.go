@@ -11,6 +11,7 @@ package exp
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/addr"
 	"repro/internal/cameo"
@@ -24,6 +25,8 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/thm"
+	"repro/internal/trace"
+	"repro/internal/tracecache"
 	"repro/internal/workload"
 )
 
@@ -58,6 +61,14 @@ type Config struct {
 	// matrix completes, with the count done so far and the matrix total.
 	// Invocations are serialized across workers.
 	Progress func(done, total int)
+
+	// Traces, when non-nil, is the snapshot cache matrix and oracle runs
+	// acquire their generated traces from; nil makes each run create a
+	// transient cache of its own. Sharing one cache across sequential runs
+	// aggregates its statistics (tests use this to assert the residency
+	// bound); it does not retain snapshots between runs — every batch
+	// declares exact use counts and frees each snapshot at its last use.
+	Traces *tracecache.Cache
 }
 
 // DefaultConfig returns the full-evaluation configuration.
@@ -99,14 +110,16 @@ func selectWorkloads(names ...string) []workload.Workload {
 		var w workload.Workload
 		var err error
 		if len(n) > 3 && n[:3] == "mix" {
-			var i int
-			fmt.Sscanf(n[3:], "%d", &i)
+			i, perr := strconv.Atoi(n[3:])
+			if perr != nil {
+				panic(fmt.Errorf("exp: bad workload name %q: %w", n, perr))
+			}
 			w, err = workload.Mix(i)
 		} else {
 			w, err = workload.Homogeneous(n)
 		}
 		if err != nil {
-			panic(err)
+			panic(fmt.Errorf("exp: workload %q: %w", n, err))
 		}
 		out = append(out, w)
 	}
@@ -166,13 +179,48 @@ func (c Config) hmaConfig() hma.Config {
 	return cfg
 }
 
+// traceCache returns the config's shared snapshot cache, or a transient
+// one for this run.
+func (c Config) traceCache() *tracecache.Cache {
+	if c.Traces != nil {
+		return c.Traces
+	}
+	return tracecache.New()
+}
+
+// traceKey identifies w's generated trace under this config. Workload
+// names uniquely identify recipes in the evaluated set, so the name (with
+// the length and seed) pins the exact request sequence.
+func (c Config) traceKey(w workload.Workload) tracecache.Key {
+	return tracecache.Key{Workload: w.Name, Requests: c.Requests, Seed: c.Seed}
+}
+
+// acquireTrace borrows w's packed trace snapshot from the cache,
+// generating and recording it on first use. uses is the total acquisition
+// count the batch declared for this key.
+func (c Config) acquireTrace(traces *tracecache.Cache, w workload.Workload, uses int) (*trace.Snapshot, func(), error) {
+	return traces.Acquire(c.traceKey(w), uses, func() (*trace.Snapshot, error) {
+		s, err := w.Stream(c.Requests, c.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return trace.Record(s, c.Requests), nil
+	})
+}
+
 // run executes one (workload, builder) cell. Every piece of mutable state
-// — memory system, backend, mechanism, engine, trace stream — is
+// — memory system, backend, mechanism, engine, replay cursor — is
 // constructed here, inside the cell; cells share only the read-only Config
-// and builder values. That isolation is what makes matrix safe to fan out
-// across goroutines (asserted by TestMatrixParallelDeterminism and the
-// race detector in CI).
-func (c Config) run(w workload.Workload, b builder) (stats.Result, error) {
+// and builder values plus the recorded trace snapshot, which is immutable
+// after capture (each cell replays it through its own cursor). That
+// isolation is what makes matrix safe to fan out across goroutines
+// (asserted by TestMatrixParallelDeterminism and the race detector in CI).
+func (c Config) run(w workload.Workload, b builder, traces *tracecache.Cache, uses int) (stats.Result, error) {
+	snap, release, err := c.acquireTrace(traces, w, uses)
+	if err != nil {
+		return stats.Result{}, err
+	}
+	defer release()
 	sys, err := memsys.New(b.layout, b.fast, b.slow)
 	if err != nil {
 		return stats.Result{}, err
@@ -184,11 +232,7 @@ func (c Config) run(w workload.Workload, b builder) (stats.Result, error) {
 	// allocations instead of paying fresh multi-MB zeroing per cell.
 	defer mech.Release(m)
 	engine := sim.New(backend, m)
-	s, err := w.Stream(c.Requests, c.Seed)
-	if err != nil {
-		return stats.Result{}, err
-	}
-	res, err := engine.Run(w.Name, s)
+	res, err := engine.Run(w.Name, snap.Stream())
 	if err != nil {
 		return stats.Result{}, err
 	}
@@ -204,14 +248,30 @@ func (c Config) run(w workload.Workload, b builder) (stats.Result, error) {
 // returned maps. For a fixed Seed the result is bit-identical for any
 // Parallelism; see Config.run for the per-cell isolation that guarantees
 // it.
+//
+// Each workload's trace is generated once and replayed from a packed
+// snapshot by every builder's cell. Tasks are submitted workload-major
+// (all builders of workload 0, then workload 1, …) so the cells sharing a
+// snapshot are adjacent in the queue: since the worker pool starts tasks
+// in submission order and a snapshot stays resident only from its
+// workload's first started cell to its last released one, at most
+// Parallelism+1 snapshots are ever resident, however many workloads the
+// matrix spans (asserted by TestMatrixSnapshotResidencyBounded).
 func (c Config) matrix(builders []builder) (map[string]map[string]stats.Result, error) {
+	traces := c.traceCache()
+	uses := make(map[tracecache.Key]int, len(c.Workloads))
+	for _, w := range c.Workloads {
+		uses[c.traceKey(w)] += len(builders)
+	}
 	tasks := make([]runner.Task[stats.Result], 0, len(builders)*len(c.Workloads))
-	for _, b := range builders {
-		for _, w := range c.Workloads {
+	for _, w := range c.Workloads {
+		for _, b := range builders {
 			b, w := b, w
 			tasks = append(tasks, runner.Task[stats.Result]{
 				Key: b.name + "/" + w.Name,
-				Run: func() (stats.Result, error) { return c.run(w, b) },
+				Run: func() (stats.Result, error) {
+					return c.run(w, b, traces, uses[c.traceKey(w)])
+				},
 			})
 		}
 	}
@@ -220,14 +280,12 @@ func (c Config) matrix(builders []builder) (map[string]map[string]stats.Result, 
 		OnProgress:  c.Progress,
 	})
 	out := make(map[string]map[string]stats.Result, len(builders))
-	i := 0
-	for _, b := range builders {
+	for bi, b := range builders {
 		out[b.name] = make(map[string]stats.Result, len(c.Workloads))
-		for _, w := range c.Workloads {
-			if cells[i].Err == nil {
-				out[b.name][w.Name] = cells[i].Value
+		for wi, w := range c.Workloads {
+			if cell := cells[wi*len(builders)+bi]; cell.Err == nil {
+				out[b.name][w.Name] = cell.Value
 			}
-			i++
 		}
 	}
 	if err != nil {

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -31,6 +32,29 @@ func TestSelectWorkloads(t *testing.T) {
 		}
 	}()
 	selectWorkloads("nonesuch")
+}
+
+// TestSelectWorkloadsBadNames pins the panic messages for malformed
+// names. "mixfoo" is the regression case: Sscanf-era parsing silently
+// read it as mix 0 and panicked blaming the mix index instead of the
+// name; the message must now carry the offending name verbatim.
+func TestSelectWorkloadsBadNames(t *testing.T) {
+	for _, name := range []string{"mixfoo", "mix0", "mix13", "mix", "mix5x", ""} {
+		name := name
+		t.Run("name="+name, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("selectWorkloads(%q) did not panic", name)
+				}
+				msg := fmt.Sprint(r)
+				if !strings.Contains(msg, fmt.Sprintf("%q", name)) {
+					t.Errorf("panic %q does not name the bad workload %q", msg, name)
+				}
+			}()
+			selectWorkloads(name)
+		})
+	}
 }
 
 func TestOracleStudyShapes(t *testing.T) {

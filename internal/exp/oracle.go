@@ -8,6 +8,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/runner"
 	"repro/internal/trace"
+	"repro/internal/tracecache"
 	"repro/internal/workload"
 )
 
@@ -44,15 +45,24 @@ type OracleResult struct {
 }
 
 // OracleStudy runs the §3 offline comparison over the config's workloads,
-// fanning the per-workload passes (each with its own trackers and trace
-// stream) out to c.Parallelism workers. Results keep workload order.
+// fanning the per-workload passes (each with its own trackers and replay
+// cursor) out to c.Parallelism workers. Traces come from the config's
+// snapshot cache — each is recorded once, replayed here, and freed at its
+// last declared use. Results keep workload order.
 func (c Config) OracleStudy() ([]OracleResult, error) {
+	traces := c.traceCache()
+	uses := make(map[tracecache.Key]int, len(c.Workloads))
+	for _, w := range c.Workloads {
+		uses[c.traceKey(w)]++
+	}
 	tasks := make([]runner.Task[OracleResult], len(c.Workloads))
 	for i, w := range c.Workloads {
 		w := w
 		tasks[i] = runner.Task[OracleResult]{
 			Key: "oracle/" + w.Name,
-			Run: func() (OracleResult, error) { return c.oracleOne(w) },
+			Run: func() (OracleResult, error) {
+				return c.oracleOne(w, traces, uses[c.traceKey(w)])
+			},
 		}
 	}
 	results, err := runner.Run(tasks, runner.Options{
@@ -65,12 +75,14 @@ func (c Config) OracleStudy() ([]OracleResult, error) {
 	return runner.Values(results), nil
 }
 
-func (c Config) oracleOne(w workload.Workload) (OracleResult, error) {
+func (c Config) oracleOne(w workload.Workload, traces *tracecache.Cache, traceUses int) (OracleResult, error) {
 	res := OracleResult{Workload: w.Name, Homogeneous: w.Homogeneous}
-	s, err := w.Stream(c.Requests, c.Seed)
+	snap, release, err := c.acquireTrace(traces, w, traceUses)
 	if err != nil {
 		return res, err
 	}
+	defer release()
+	s := snap.Stream()
 	m := mea.NewMEA(OracleMEACounters, OracleCounterBits)
 	fc := mea.NewFullCounters()
 

@@ -38,3 +38,52 @@ func BenchmarkMergeStreamNext(b *testing.B) {
 		}
 	}
 }
+
+// benchReqs builds a generator-shaped request slice for the snapshot
+// benchmarks: nanosecond-scale deltas, 8 cores, occasional writes.
+func benchReqs(n int) []Request {
+	reqs := make([]Request, n)
+	t := clock.Time(0)
+	for i := range reqs {
+		t += clock.Duration(2+(i*7)%400) * clock.Nanosecond
+		reqs[i] = Request{
+			Addr:  uint64(i) * 64,
+			Time:  t,
+			Write: i%4 == 0,
+			Core:  uint8(i % 8),
+		}
+	}
+	return reqs
+}
+
+// BenchmarkSnapshotReplay measures the packed replay loop — the per-request
+// cost every cached matrix cell pays instead of regenerating its trace.
+// The acceptance bar is 0 allocs/op in steady state.
+func BenchmarkSnapshotReplay(b *testing.B) {
+	reqs := benchReqs(1 << 16)
+	snap := Record(NewSliceStream(reqs), len(reqs))
+	defer snap.Release()
+	ss := snap.Stream()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var r Request
+	for i := 0; i < b.N; i++ {
+		if !ss.Next(&r) {
+			ss.Reset()
+		}
+	}
+}
+
+// BenchmarkSnapshotRecord measures the capture side: packing one request
+// into the columnar snapshot (amortized over a pooled recording).
+func BenchmarkSnapshotRecord(b *testing.B) {
+	reqs := benchReqs(1 << 16)
+	src := NewSliceStream(reqs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; done += len(reqs) {
+		src.Reset()
+		snap := Record(src, len(reqs))
+		snap.Release()
+	}
+}

@@ -1,0 +1,179 @@
+package tracecache
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/trace"
+)
+
+// genReqs builds a small deterministic trace for cache tests.
+func genReqs(n int, seed int64) []trace.Request {
+	reqs := make([]trace.Request, n)
+	t := clock.Time(seed)
+	for i := range reqs {
+		t += clock.Time(10 + i%7)
+		reqs[i] = trace.Request{Addr: uint64(seed)<<20 | uint64(i), Time: t, Core: uint8(i % 8)}
+	}
+	return reqs
+}
+
+func snapGen(n int, seed int64, calls *atomic.Int32) func() (*trace.Snapshot, error) {
+	return func() (*trace.Snapshot, error) {
+		if calls != nil {
+			calls.Add(1)
+		}
+		return trace.Record(trace.NewSliceStream(genReqs(n, seed)), n), nil
+	}
+}
+
+// TestAcquireSingleFlight hammers one key from many goroutines: exactly
+// one generation must happen, and every acquirer must see the same
+// snapshot contents.
+func TestAcquireSingleFlight(t *testing.T) {
+	c := New()
+	key := Key{Workload: "mix5", Requests: 256, Seed: 42}
+	const users = 16
+	var calls atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < users; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			snap, release, err := c.Acquire(key, users, snapGen(256, 42, &calls))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer release()
+			if snap.Len() != 256 {
+				t.Errorf("snapshot Len = %d", snap.Len())
+			}
+			// Replay a prefix to check the snapshot is usable concurrently.
+			ss := snap.Stream()
+			var r trace.Request
+			for j := 0; j < 64; j++ {
+				if !ss.Next(&r) {
+					t.Error("short replay")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Errorf("generator ran %d times, want 1", n)
+	}
+	st := c.Stats()
+	if st.Live != 0 {
+		t.Errorf("cache still holds %d snapshots after all releases", st.Live)
+	}
+	if st.Generated != 1 || st.Hits != users-1 {
+		t.Errorf("stats %+v, want 1 generated / %d hits", st, users-1)
+	}
+}
+
+// TestLastReleaseFrees pins the exact-lifetime contract: the entry stays
+// resident until the declared number of uses has been released, then
+// leaves immediately.
+func TestLastReleaseFrees(t *testing.T) {
+	c := New()
+	key := Key{Workload: "cactus", Requests: 64, Seed: 1}
+	_, rel1, err := c.Acquire(key, 3, snapGen(64, 1, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rel2, err := c.Acquire(key, 3, snapGen(64, 1, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rel3, err := c.Acquire(key, 3, snapGen(64, 1, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel1()
+	rel1() // idempotent: double release must not count twice
+	rel2()
+	if live := c.Stats().Live; live != 1 {
+		t.Fatalf("entry freed early (live=%d) with one use outstanding", live)
+	}
+	rel3()
+	if live := c.Stats().Live; live != 0 {
+		t.Fatalf("entry still live (%d) after last release", live)
+	}
+}
+
+// TestDistinctKeysDistinctSnapshots checks keys don't collide: different
+// seeds yield different recorded contents.
+func TestDistinctKeysDistinctSnapshots(t *testing.T) {
+	c := New()
+	s1, rel1, err := c.Acquire(Key{Workload: "w", Requests: 32, Seed: 1}, 1, snapGen(32, 1, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, rel2, err := c.Acquire(Key{Workload: "w", Requests: 32, Seed: 2}, 1, snapGen(32, 2, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r1, r2 trace.Request
+	ss1, ss2 := s1.Stream(), s2.Stream()
+	ss1.Next(&r1)
+	ss2.Next(&r2)
+	if r1.Addr == r2.Addr {
+		t.Error("distinct seeds replayed identical first requests")
+	}
+	if peak := c.Stats().Peak; peak != 2 {
+		t.Errorf("peak %d, want 2", peak)
+	}
+	rel1()
+	rel2()
+}
+
+// TestGenerationErrorPropagatesAndForgets checks the failure path: the
+// error reaches the acquirer, nothing stays resident, and a retry re-runs
+// the generator.
+func TestGenerationErrorPropagatesAndForgets(t *testing.T) {
+	c := New()
+	key := Key{Workload: "broken", Requests: 8, Seed: 9}
+	boom := errors.New("boom")
+	_, _, err := c.Acquire(key, 2, func() (*trace.Snapshot, error) { return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if live := c.Stats().Live; live != 0 {
+		t.Fatalf("failed entry still resident (%d)", live)
+	}
+	snap, release, err := c.Acquire(key, 2, snapGen(8, 9, nil))
+	if err != nil {
+		t.Fatalf("retry after failure: %v", err)
+	}
+	if snap.Len() != 8 {
+		t.Errorf("retry snapshot Len = %d", snap.Len())
+	}
+	release()
+}
+
+// TestAcquireContractViolations checks the misuse guards: zero uses,
+// conflicting uses, and over-acquiring all error instead of corrupting
+// the accounting.
+func TestAcquireContractViolations(t *testing.T) {
+	c := New()
+	key := Key{Workload: "w", Requests: 16, Seed: 3}
+	if _, _, err := c.Acquire(key, 0, snapGen(16, 3, nil)); err == nil {
+		t.Error("uses=0 accepted")
+	}
+	_, rel, err := c.Acquire(key, 1, snapGen(16, 3, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Acquire(key, 2, snapGen(16, 3, nil)); err == nil {
+		t.Error("conflicting uses accepted")
+	}
+	if _, _, err := c.Acquire(key, 1, snapGen(16, 3, nil)); err == nil {
+		t.Error("acquire beyond declared uses accepted")
+	}
+	rel()
+}

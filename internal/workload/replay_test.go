@@ -1,0 +1,54 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestSnapshotReplayMatchesLiveGeneration is the differential test behind
+// the snapshot cache's correctness claim: recording a workload's stream
+// and replaying the packed snapshot must reproduce live generation
+// bit-for-bit — every field of every request — so experiments running on
+// replayed snapshots are indistinguishable from ones re-generating their
+// traces (the golden figure tests then pin this end to end).
+func TestSnapshotReplayMatchesLiveGeneration(t *testing.T) {
+	const n, seed = 50_000, 42
+	for _, name := range []string{"cactus", "bwaves", "mix5"} {
+		w := byTestName(t, name)
+		snap := trace.Record(w.MustStream(n, seed), n)
+		if snap.Len() != n {
+			t.Fatalf("%s: recorded %d requests, want %d", name, snap.Len(), n)
+		}
+		live := w.MustStream(n, seed) // generation is deterministic per (n, seed)
+		replay := snap.Stream()
+		var want, got trace.Request
+		for i := 0; i < n; i++ {
+			if !live.Next(&want) || !replay.Next(&got) {
+				t.Fatalf("%s: stream ended early at %d", name, i)
+			}
+			if want != got {
+				t.Fatalf("%s: request %d: replay %+v != live %+v", name, i, got, want)
+			}
+		}
+		if replay.Next(&got) {
+			t.Fatalf("%s: replay longer than live generation", name)
+		}
+		snap.Release()
+	}
+}
+
+// byTestName resolves a benchmark or mix name for the differential test.
+func byTestName(t *testing.T, name string) Workload {
+	t.Helper()
+	if w, err := Homogeneous(name); err == nil {
+		return w
+	}
+	for _, w := range All() {
+		if w.Name == name {
+			return w
+		}
+	}
+	t.Fatalf("unknown workload %q", name)
+	return Workload{}
+}

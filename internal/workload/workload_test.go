@@ -1,8 +1,10 @@
 package workload
 
 import (
+	"fmt"
 	"reflect"
 	"sort"
+	"strings"
 	"testing"
 
 	"repro/internal/addr"
@@ -228,6 +230,32 @@ func TestMixes(t *testing.T) {
 	}
 	if _, err := Mix(13); err == nil {
 		t.Error("mix 13 accepted")
+	}
+}
+
+// TestErrorMessagesNameOffender pins that lookup failures identify what
+// was asked for — callers (exp.selectWorkloads, the mempod facade)
+// surface these messages directly to users.
+func TestErrorMessagesNameOffender(t *testing.T) {
+	for _, name := range []string{"nonesuch", "", "Lbm", "mix5"} {
+		_, err := Homogeneous(name)
+		if err == nil {
+			t.Errorf("Homogeneous(%q) accepted", name)
+			continue
+		}
+		if want := fmt.Sprintf("%q", name); !strings.Contains(err.Error(), want) {
+			t.Errorf("Homogeneous(%q) error %q does not contain %s", name, err, want)
+		}
+	}
+	for _, i := range []int{-1, 0, 13, 1000} {
+		_, err := Mix(i)
+		if err == nil {
+			t.Errorf("Mix(%d) accepted", i)
+			continue
+		}
+		if want := fmt.Sprintf("%d", i); !strings.Contains(err.Error(), want) {
+			t.Errorf("Mix(%d) error %q does not contain the index", i, err)
+		}
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/thm"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -102,13 +103,9 @@ func Workloads() []string {
 	return out
 }
 
-// Run simulates one workload under one mechanism and returns its metrics.
-// The workload is a benchmark name ("mcf"), a mix ("mix5"), per Workloads.
-func Run(workloadName string, o Options) (Result, error) {
-	w, err := lookupWorkload(workloadName)
-	if err != nil {
-		return Result{}, err
-	}
+// withDefaults fills the zero-value option defaults shared by every entry
+// point.
+func (o Options) withDefaults() Options {
 	if o.Requests == 0 {
 		o.Requests = 500_000
 	}
@@ -118,7 +115,13 @@ func Run(workloadName string, o Options) (Result, error) {
 	if o.Mechanism == "" {
 		o.Mechanism = MechMemPod
 	}
+	return o
+}
 
+// runStream builds the memory system and mechanism selected by o and
+// drives the stream through it. Every entry point — generated workloads,
+// custom definitions, recorded trace replays — funnels through here.
+func runStream(name string, s trace.Stream, o Options) (Result, error) {
 	fast, slow := dram.HBM(), dram.DDR4_1600()
 	if o.FutureMemories {
 		fast, slow = dram.HBMOverclocked(), dram.DDR4_2400()
@@ -135,18 +138,31 @@ func Run(workloadName string, o Options) (Result, error) {
 		return Result{}, err
 	}
 	backend := mech.NewBackend(sys)
-
 	m, err := buildMechanism(o, backend)
 	if err != nil {
 		return Result{}, err
 	}
+	// Recycle the mechanism's pooled tables once the run's stats are out,
+	// so back-to-back runs (mempodsim -compare) reuse allocations.
+	defer mech.Release(m)
 	engine := sim.New(backend, m)
 	engine.Window = o.Window
+	return engine.Run(name, s)
+}
+
+// Run simulates one workload under one mechanism and returns its metrics.
+// The workload is a benchmark name ("mcf"), a mix ("mix5"), per Workloads.
+func Run(workloadName string, o Options) (Result, error) {
+	w, err := lookupWorkload(workloadName)
+	if err != nil {
+		return Result{}, err
+	}
+	o = o.withDefaults()
 	s, err := w.Stream(o.Requests, o.Seed)
 	if err != nil {
 		return Result{}, err
 	}
-	return engine.Run(w.Name, s)
+	return runStream(w.Name, s, o)
 }
 
 // RunCustom is Run for a user-defined workload: def is the JSON custom
@@ -157,42 +173,94 @@ func RunCustom(def io.Reader, o Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	if o.Requests == 0 {
-		o.Requests = 500_000
-	}
-	if o.Seed == 0 {
-		o.Seed = 42
-	}
-	if o.Mechanism == "" {
-		o.Mechanism = MechMemPod
-	}
-	fast, slow := dram.HBM(), dram.DDR4_1600()
-	if o.FutureMemories {
-		fast, slow = dram.HBMOverclocked(), dram.DDR4_2400()
-	}
-	layout := addr.DefaultLayout()
-	switch o.Mechanism {
-	case MechHBMOnly:
-		layout = addr.Layout{FastBytes: 9 << 30, FastChannels: 8, NumPods: 4}
-	case MechDDROnly:
-		layout = addr.Layout{SlowBytes: 9 << 30, SlowChannels: 4, NumPods: 4}
-	}
-	sys, err := memsys.New(layout, fast, slow)
-	if err != nil {
-		return Result{}, err
-	}
-	backend := mech.NewBackend(sys)
-	m, err := buildMechanism(o, backend)
-	if err != nil {
-		return Result{}, err
-	}
-	engine := sim.New(backend, m)
-	engine.Window = o.Window
+	o = o.withDefaults()
 	s, err := w.Stream(o.Requests, o.Seed)
 	if err != nil {
 		return Result{}, err
 	}
-	return engine.Run(w.Name, s)
+	return runStream(w.Name, s, o)
+}
+
+// Trace is a recorded workload trace in the packed snapshot form: generate
+// (or load) it once, then replay it under any number of mechanisms or
+// option sets. Replays are bit-identical to the recorded generation and
+// safe to run concurrently — each RunTrace takes its own cursor over the
+// immutable snapshot.
+type Trace struct {
+	name string
+	snap *trace.Snapshot
+}
+
+// RecordTrace generates workloadName's trace with the given length and
+// seed (zero values select the Run defaults) and records it as a packed
+// snapshot.
+func RecordTrace(workloadName string, requests int, seed int64) (*Trace, error) {
+	w, err := lookupWorkload(workloadName)
+	if err != nil {
+		return nil, err
+	}
+	return recordTrace(w.Name, w, requests, seed)
+}
+
+// RecordCustomTrace is RecordTrace for a JSON custom workload definition.
+func RecordCustomTrace(def io.Reader, requests int, seed int64) (*Trace, error) {
+	w, err := workload.LoadCustom(def)
+	if err != nil {
+		return nil, err
+	}
+	return recordTrace(w.Name, w, requests, seed)
+}
+
+// streamer abstracts the two workload kinds (built-in and custom) for
+// recording; both expose the same Stream method.
+type streamer interface {
+	Stream(n int, seed int64) (trace.Stream, error)
+}
+
+func recordTrace(name string, w streamer, requests int, seed int64) (*Trace, error) {
+	if requests <= 0 {
+		requests = 500_000
+	}
+	if seed == 0 {
+		seed = 42
+	}
+	s, err := w.Stream(requests, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Trace{name: name, snap: trace.Record(s, requests)}, nil
+}
+
+// Name returns the workload name the trace was recorded from.
+func (t *Trace) Name() string { return t.name }
+
+// Requests returns the number of recorded requests.
+func (t *Trace) Requests() int { return t.snap.Len() }
+
+// Size returns the packed in-memory size of the trace in bytes.
+func (t *Trace) Size() int { return t.snap.Size() }
+
+// Save persists the trace in the packed snapshot file format, replayable
+// across runs via ReadTrace (cmd/mempodsim's -trace-out/-trace-in).
+func (t *Trace) Save(w io.Writer) error {
+	return trace.WriteSnapshot(w, t.name, t.snap)
+}
+
+// ReadTrace loads a trace saved by Save.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	snap, name, err := trace.ReadSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Trace{name: name, snap: snap}, nil
+}
+
+// RunTrace replays a recorded trace under the mechanism selected by o.
+// o.Requests and o.Seed are ignored — the trace already fixes the request
+// sequence.
+func RunTrace(t *Trace, o Options) (Result, error) {
+	o = o.withDefaults()
+	return runStream(t.name, t.snap.Stream(), o)
 }
 
 func buildMechanism(o Options, backend *mech.Backend) (mech.Mechanism, error) {

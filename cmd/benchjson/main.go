@@ -6,9 +6,16 @@
 //
 //	go test -run='^$' -bench=. ./... | benchjson -o results/bench.json
 //	benchjson -i bench.txt -o results/bench.json
+//	benchjson -diff old.json new.json -threshold 10
 //
 // Non-benchmark lines (test framework chatter, PASS/ok trailers) are
 // ignored, so the raw `go test` stream can be piped in unfiltered.
+//
+// The -diff mode compares two archived reports: for every benchmark
+// present in both, it prints the ns/op delta and exits non-zero when any
+// regressed by more than -threshold percent (default 10). Benchmarks
+// present on only one side are reported informationally and never fail
+// the comparison — renames must not masquerade as regressions.
 package main
 
 import (
@@ -48,6 +55,11 @@ type Report struct {
 }
 
 func main() {
+	// The diff mode's natural argument shape — files between flags — is
+	// not stdlib-flag-parseable, so it is dispatched before flag.Parse.
+	if len(os.Args) > 1 && os.Args[1] == "-diff" {
+		os.Exit(runDiff(os.Args[2:], os.Stdout))
+	}
 	var (
 		in  = flag.String("i", "", "input file (default stdin)")
 		out = flag.String("o", "", "output file (default stdout)")
@@ -160,4 +172,142 @@ func parseLine(line string) (Benchmark, bool, error) {
 		b.Metrics[f[i+1]] = v
 	}
 	return b, true, nil
+}
+
+// benchKey identifies a benchmark across reports.
+type benchKey struct {
+	Pkg   string
+	Name  string
+	Procs int
+}
+
+// Delta is one benchmark's ns/op movement between two reports.
+type Delta struct {
+	Key benchKey
+	// Old and New are ns/op in the respective reports.
+	Old, New float64
+	// Pct is the relative change in percent: positive means slower.
+	Pct float64
+	// Regressed means Pct exceeds the caller's threshold.
+	Regressed bool
+}
+
+// Diff compares ns/op for every benchmark present in both reports.
+// A benchmark regressed when its ns/op grew by strictly more than
+// thresholdPct percent. Deltas keep newRep's benchmark order; onlyOld and
+// onlyNew list benchmarks without a counterpart (never a failure).
+func Diff(oldRep, newRep *Report, thresholdPct float64) (deltas []Delta, onlyOld, onlyNew []string) {
+	oldNs := make(map[benchKey]float64, len(oldRep.Benchmarks))
+	seen := make(map[benchKey]bool, len(oldRep.Benchmarks))
+	for _, b := range oldRep.Benchmarks {
+		k := benchKey{b.Pkg, b.Name, b.Procs}
+		oldNs[k] = b.Metrics["ns/op"]
+		seen[k] = false
+	}
+	for _, b := range newRep.Benchmarks {
+		k := benchKey{b.Pkg, b.Name, b.Procs}
+		old, ok := oldNs[k]
+		if !ok {
+			onlyNew = append(onlyNew, k.Name)
+			continue
+		}
+		seen[k] = true
+		d := Delta{Key: k, Old: old, New: b.Metrics["ns/op"]}
+		if old > 0 {
+			d.Pct = (d.New - d.Old) / d.Old * 100
+		}
+		d.Regressed = d.Pct > thresholdPct
+		deltas = append(deltas, d)
+	}
+	for _, b := range oldRep.Benchmarks {
+		if k := (benchKey{b.Pkg, b.Name, b.Procs}); !seen[k] {
+			onlyOld = append(onlyOld, k.Name)
+		}
+	}
+	return deltas, onlyOld, onlyNew
+}
+
+// runDiff implements the -diff CLI mode and returns the process exit code:
+// 0 when no benchmark regressed past the threshold, 1 otherwise, 2 on
+// usage or file errors. Arguments are the two report paths in old, new
+// order, with -threshold <pct> accepted anywhere among them.
+func runDiff(args []string, w io.Writer) int {
+	threshold := 10.0
+	var files []string
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		switch {
+		case a == "-threshold" || a == "--threshold":
+			i++
+			if i >= len(args) {
+				fmt.Fprintln(os.Stderr, "benchjson: -threshold needs a value")
+				return 2
+			}
+			v, err := strconv.ParseFloat(args[i], 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: bad threshold %q\n", args[i])
+				return 2
+			}
+			threshold = v
+		case strings.HasPrefix(a, "-threshold="):
+			v, err := strconv.ParseFloat(strings.TrimPrefix(a, "-threshold="), 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: bad threshold %q\n", a)
+				return 2
+			}
+			threshold = v
+		default:
+			files = append(files, a)
+		}
+	}
+	if len(files) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson -diff old.json new.json [-threshold pct]")
+		return 2
+	}
+	oldRep, err := loadReport(files[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	newRep, err := loadReport(files[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	deltas, onlyOld, onlyNew := Diff(oldRep, newRep, threshold)
+	failed := false
+	for _, d := range deltas {
+		mark := "ok  "
+		if d.Regressed {
+			mark = "FAIL"
+			failed = true
+		}
+		fmt.Fprintf(w, "%s %-40s %14.0f -> %14.0f ns/op  %+6.1f%%\n",
+			mark, d.Key.Name, d.Old, d.New, d.Pct)
+	}
+	for _, n := range onlyOld {
+		fmt.Fprintf(w, "gone %s (only in %s)\n", n, files[0])
+	}
+	for _, n := range onlyNew {
+		fmt.Fprintf(w, "new  %s (only in %s)\n", n, files[1])
+	}
+	if failed {
+		fmt.Fprintf(w, "regression: at least one benchmark slowed >%g%%\n", threshold)
+		return 1
+	}
+	return 0
+}
+
+// loadReport reads a JSON report written by this tool.
+func loadReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rep Report
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
 }

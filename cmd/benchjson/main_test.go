@@ -1,6 +1,10 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -79,5 +83,109 @@ func TestParseEmptyInput(t *testing.T) {
 	}
 	if len(rep.Benchmarks) != 0 {
 		t.Fatalf("benchmarks from chatter: %+v", rep.Benchmarks)
+	}
+}
+
+// report builds a one-metric report for diff tests.
+func report(ns map[string]float64) *Report {
+	rep := &Report{}
+	for _, name := range []string{"BenchmarkMatrix/j=1", "BenchmarkMatrix/j=4", "BenchmarkReplay"} {
+		if v, ok := ns[name]; ok {
+			rep.Benchmarks = append(rep.Benchmarks, Benchmark{
+				Pkg: "repro/internal/exp", Name: name, Procs: 8,
+				Metrics: map[string]float64{"ns/op": v},
+			})
+		}
+	}
+	return rep
+}
+
+func TestDiff(t *testing.T) {
+	oldRep := report(map[string]float64{
+		"BenchmarkMatrix/j=1": 33_100_000,
+		"BenchmarkMatrix/j=4": 10_000_000,
+		"BenchmarkReplay":     100,
+	})
+	newRep := report(map[string]float64{
+		"BenchmarkMatrix/j=1": 25_300_000, // improved
+		"BenchmarkMatrix/j=4": 11_000_000, // +10.0%: at threshold, not over
+		"BenchmarkReplay":     120,        // +20%: regression
+	})
+	deltas, onlyOld, onlyNew := Diff(oldRep, newRep, 10)
+	if len(deltas) != 3 || len(onlyOld) != 0 || len(onlyNew) != 0 {
+		t.Fatalf("deltas=%d onlyOld=%v onlyNew=%v", len(deltas), onlyOld, onlyNew)
+	}
+	if deltas[0].Regressed || deltas[0].Pct >= 0 {
+		t.Errorf("improvement flagged: %+v", deltas[0])
+	}
+	if deltas[1].Regressed {
+		t.Errorf("exactly-at-threshold flagged as regression: %+v", deltas[1])
+	}
+	if !deltas[2].Regressed || deltas[2].Pct != 20 {
+		t.Errorf("regression missed: %+v", deltas[2])
+	}
+}
+
+func TestDiffUnpairedBenchmarks(t *testing.T) {
+	oldRep := report(map[string]float64{"BenchmarkMatrix/j=1": 100, "BenchmarkReplay": 50})
+	newRep := report(map[string]float64{"BenchmarkMatrix/j=1": 90, "BenchmarkMatrix/j=4": 10})
+	deltas, onlyOld, onlyNew := Diff(oldRep, newRep, 10)
+	if len(deltas) != 1 {
+		t.Fatalf("deltas: %+v", deltas)
+	}
+	if len(onlyOld) != 1 || onlyOld[0] != "BenchmarkReplay" {
+		t.Errorf("onlyOld = %v", onlyOld)
+	}
+	if len(onlyNew) != 1 || onlyNew[0] != "BenchmarkMatrix/j=4" {
+		t.Errorf("onlyNew = %v", onlyNew)
+	}
+}
+
+// writeReport marshals a report to a temp file for the CLI-level test.
+func writeReport(t *testing.T, dir, name string, rep *Report) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunDiffExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", report(map[string]float64{"BenchmarkMatrix/j=1": 100}))
+	slower := writeReport(t, dir, "slow.json", report(map[string]float64{"BenchmarkMatrix/j=1": 150}))
+	faster := writeReport(t, dir, "fast.json", report(map[string]float64{"BenchmarkMatrix/j=1": 80}))
+
+	var out strings.Builder
+	// The issue's documented shape: files first, threshold after.
+	if code := runDiff([]string{oldPath, slower, "-threshold", "10"}, &out); code != 1 {
+		t.Errorf("regression exit code %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Errorf("regression not marked FAIL:\n%s", out.String())
+	}
+	out.Reset()
+	if code := runDiff([]string{oldPath, faster, "-threshold", "10"}, &out); code != 0 {
+		t.Errorf("improvement exit code %d, want 0\n%s", code, out.String())
+	}
+	// A generous threshold tolerates the slowdown.
+	out.Reset()
+	if code := runDiff([]string{oldPath, slower, "-threshold=60"}, &out); code != 0 {
+		t.Errorf("within-threshold exit code %d, want 0\n%s", code, out.String())
+	}
+	// Usage and file errors are distinct from regressions.
+	if code := runDiff([]string{oldPath}, io.Discard); code != 2 {
+		t.Errorf("missing file arg exit code %d, want 2", code)
+	}
+	if code := runDiff([]string{oldPath, filepath.Join(dir, "absent.json")}, io.Discard); code != 2 {
+		t.Errorf("unreadable report exit code %d, want 2", code)
+	}
+	if code := runDiff([]string{oldPath, slower, "-threshold", "bogus"}, io.Discard); code != 2 {
+		t.Errorf("bad threshold exit code %d, want 2", code)
 	}
 }

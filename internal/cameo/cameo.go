@@ -156,23 +156,29 @@ func slotOf(perm uint64, member, members int) int {
 // Access implements mech.Mechanism: serve the line from its current slot;
 // if that slot is slow, swap the line into the group's fast slot.
 func (c *CAMEO) Access(r *trace.Request, at clock.Time) clock.Time {
+	return c.access(r, addr.LineOf(addr.Addr(r.Addr)), at)
+}
+
+// AccessDecoded implements mech.DecodedAccessor. CAMEO manages lines, not
+// frames: the global line index reassembles exactly from the plane's page
+// and line-in-page (addresses are line-aligned by construction).
+func (c *CAMEO) AccessDecoded(r *trace.Request, d *trace.Decoded, at clock.Time) clock.Time {
+	return c.access(r, addr.Line(d.Page*addr.LinesPerPage+uint64(d.Line)), at)
+}
+
+func (c *CAMEO) access(r *trace.Request, ln addr.Line, at clock.Time) clock.Time {
 	// CAMEO's locks only shed entries when their line is re-accessed;
 	// compact occasionally with the trace clock as the expiry floor.
 	c.locks.MaybeCompact(r.Time)
-	ln := addr.LineOf(addr.Addr(r.Addr))
 	grp, member := c.groupOf(ln)
 	perm := c.perm(grp)
 	slot := slotOf(perm, member, c.members)
 
 	start := at
 	var lockEnd clock.Time
-	if end := c.locks.Get(uint64(ln)); end != 0 {
-		if end > start {
-			lockEnd = end
-			c.stats.LockStalls++
-		} else {
-			c.locks.Drop(uint64(ln))
-		}
+	if end := c.locks.GetActive(uint64(ln), start); end != 0 {
+		lockEnd = end
+		c.stats.LockStalls++
 	}
 
 	if c.pred != nil {
@@ -248,6 +254,7 @@ func (c *CAMEO) SlotOfLine(ln addr.Line) int {
 }
 
 var (
-	_ mech.Mechanism = (*CAMEO)(nil)
-	_ mech.Releaser  = (*CAMEO)(nil)
+	_ mech.Mechanism       = (*CAMEO)(nil)
+	_ mech.DecodedAccessor = (*CAMEO)(nil)
+	_ mech.Releaser        = (*CAMEO)(nil)
 )

@@ -111,6 +111,7 @@ type tracker interface {
 type pod struct {
 	id       int
 	tracker  tracker
+	mea      *mea.MEA // tracker's concrete form, nil for Full Counters
 	remap    *tab.U32 // home frame (local page ID) -> current frame
 	inverted *tab.U32 // fast frame -> resident local page ID
 	victim   uint32   // rotating victim-identification pointer
@@ -170,7 +171,8 @@ func New(cfg Config, b *mech.Backend) (*MemPod, error) {
 		if cfg.UseFullCounters {
 			p.tracker = mea.NewFullCounters()
 		} else {
-			p.tracker = mea.NewMEA(cfg.Counters, cfg.CounterBits)
+			p.mea = mea.NewMEA(cfg.Counters, cfg.CounterBits)
+			p.tracker = p.mea
 		}
 		p.remap = tab.NewU32(perPod)
 		p.inverted = tab.NewU32(fast)
@@ -223,22 +225,43 @@ func (m *MemPod) Release() {
 // stall behind any in-flight swap of the page, and forward the line to its
 // current frame.
 func (m *MemPod) Access(r *trace.Request, at clock.Time) clock.Time {
+	page := addr.PageOf(addr.Addr(r.Addr))
+	podID, home := m.geom.HomeFrame(page)
+	li := int(uint64(addr.LineOf(addr.Addr(r.Addr))) % addr.LinesPerPage)
+	return m.access(r, uint64(page), podID, uint32(home), li, at, nil)
+}
+
+// AccessDecoded implements mech.DecodedAccessor: the home decomposition
+// comes from the trace's predecode plane instead of being re-derived, and
+// un-migrated pages (the identity remap, i.e. most of the trace) are
+// serviced at the plane's precomputed home channel/row.
+func (m *MemPod) AccessDecoded(r *trace.Request, d *trace.Decoded, at clock.Time) clock.Time {
+	return m.access(r, d.Page, int(d.Pod), d.Frame, int(d.Line), at, d)
+}
+
+func (m *MemPod) access(r *trace.Request, page uint64, podID int, local uint32, li int, at clock.Time, d *trace.Decoded) clock.Time {
 	for at >= m.next {
 		m.runInterval(m.next)
 		m.next += m.cfg.Interval
 	}
 
-	page := addr.PageOf(addr.Addr(r.Addr))
-	podID, home := m.geom.HomeFrame(page)
 	p := &m.pods[podID]
-	local := uint32(home)
 
 	// Execute any queued swaps whose paced start time has arrived, so
-	// channel traffic stays in time order.
-	m.drainPod(p, at)
+	// channel traffic stays in time order. The guard is inlined here:
+	// most accesses find nothing due, and the call is not free.
+	if p.qpos < len(p.queue) && p.queue[p.qpos].start <= at {
+		m.drainPod(p, at)
+	}
 
-	if m.touch.Touch(r.Core, uint64(page)) {
-		p.tracker.Observe(uint64(local))
+	if m.touch.Touch(r.Core, page) {
+		// Direct dispatch for the common concrete tracker; the interface
+		// call is only paid by the Full Counters ablation.
+		if p.mea != nil {
+			p.mea.Observe(uint64(local))
+		} else {
+			p.tracker.Observe(uint64(local))
+		}
 	}
 
 	start := at
@@ -252,21 +275,21 @@ func (m *MemPod) Access(r *trace.Request, at clock.Time) clock.Time {
 		}
 	}
 	var lockEnd clock.Time
-	if end := p.locks.Get(uint64(local)); end != 0 {
-		if end > start {
-			// The page's swap is in flight: the request cannot complete
-			// before the copy lands. The DRAM access itself still issues
-			// now (channel traffic must stay in time order); the lock
-			// wait is added to the completion.
-			lockEnd = end
-			m.stats.LockStalls++
-		} else {
-			p.locks.Drop(uint64(local))
-		}
+	if end := p.locks.GetActive(uint64(local), start); end != 0 {
+		// The page's swap is in flight: the request cannot complete
+		// before the copy lands. The DRAM access itself still issues
+		// now (channel traffic must stay in time order); the lock
+		// wait is added to the completion.
+		lockEnd = end
+		m.stats.LockStalls++
 	}
 
 	f := addr.Frame(p.remap.A[local])
-	li := int(uint64(addr.LineOf(addr.Addr(r.Addr))) % addr.LinesPerPage)
+	if d != nil && uint32(f) == local {
+		// Identity remap: the page still lives in its home frame, whose
+		// channel/row the predecode plane already resolved.
+		return clock.Max(m.backend.LineAt(d.Chan, d.Row, r.Write, start), lockEnd)
+	}
 	return clock.Max(m.backend.Line(podID, f, li, r.Write, start), lockEnd)
 }
 
@@ -503,6 +526,7 @@ func (m *MemPod) CheckInvariants() error {
 }
 
 var (
-	_ mech.Mechanism = (*MemPod)(nil)
-	_ mech.Releaser  = (*MemPod)(nil)
+	_ mech.Mechanism       = (*MemPod)(nil)
+	_ mech.DecodedAccessor = (*MemPod)(nil)
+	_ mech.Releaser        = (*MemPod)(nil)
 )

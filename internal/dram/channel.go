@@ -39,6 +39,12 @@ type bank struct {
 type Channel struct {
 	spec  Spec
 	banks []bank
+	// Bank decomposition of a row index, precomputed: every real spec has a
+	// power-of-two bank count, turning the per-access div/mod pair into a
+	// shift and a mask (with a hardware-division fallback otherwise).
+	bankMask  uint64
+	bankShift uint8
+	bankPow2  bool
 	// Cached durations, precomputed once.
 	burst       clock.Duration
 	latHit      clock.Duration
@@ -47,17 +53,30 @@ type Channel struct {
 	ras         clock.Duration
 	rp          clock.Duration
 
-	busFreeAt   clock.Time
-	nextRefresh clock.Time // 0 when refresh is disabled
+	busFreeAt clock.Time
+	// nextRefresh is refreshNever when refresh is disabled, so the hot
+	// path's enabled-and-due test is one comparison.
+	nextRefresh clock.Time
 	stats       Stats
 }
 
+// refreshNever is the nextRefresh sentinel for refresh-disabled channels:
+// no request time ever reaches it.
+const refreshNever = clock.Time(1<<63 - 1)
+
 // NewChannel returns a channel with all banks precharged at time zero.
 func NewChannel(spec Spec) *Channel {
+	c := MakeChannel(spec)
+	return &c
+}
+
+// MakeChannel is NewChannel by value, for callers that keep channels in a
+// dense slice (memsys.System) instead of chasing per-channel pointers.
+func MakeChannel(spec Spec) Channel {
 	if err := spec.Validate(); err != nil {
 		panic(err)
 	}
-	c := &Channel{
+	c := Channel{
 		spec:        spec,
 		banks:       make([]bank, spec.Banks),
 		burst:       spec.BurstTime(),
@@ -70,6 +89,14 @@ func NewChannel(spec Spec) *Channel {
 	for i := range c.banks {
 		c.banks[i].openRow = -1
 	}
+	if n := uint64(spec.Banks); n&(n-1) == 0 {
+		c.bankPow2 = true
+		c.bankMask = n - 1
+		for q := n; q > 1; q >>= 1 {
+			c.bankShift++
+		}
+	}
+	c.nextRefresh = refreshNever
 	if spec.RefreshInterval > 0 {
 		c.nextRefresh = spec.RefreshInterval
 	}
@@ -79,8 +106,14 @@ func NewChannel(spec Spec) *Channel {
 // Spec returns the channel's DRAM spec.
 func (c *Channel) Spec() Spec { return c.spec }
 
-// Stats returns a snapshot of the channel's counters.
-func (c *Channel) Stats() Stats { return c.stats }
+// Stats returns a snapshot of the channel's counters. BusBusy is derived
+// here rather than accumulated per access: every access occupies the bus
+// for exactly one burst.
+func (c *Channel) Stats() Stats {
+	s := c.stats
+	s.BusBusy = clock.Duration(s.Reads+s.Writes) * c.burst
+	return s
+}
 
 // Access services one 64-byte request to the given global row index at or
 // after time `at` and returns its completion time (data fully transferred).
@@ -90,26 +123,36 @@ func (c *Channel) Stats() Stats { return c.stats }
 // addresses in the same 8 KB row.
 func (c *Channel) Access(row uint64, write bool, at clock.Time) clock.Time {
 	// Refresh: every tREFI the channel stalls for tRFC with all rows
-	// closed. Catch up on any refresh windows the request time passed.
-	if c.nextRefresh > 0 && at >= c.nextRefresh {
-		for at >= c.nextRefresh {
-			refreshEnd := c.nextRefresh + c.spec.RefreshTime
-			for i := range c.banks {
-				c.banks[i].openRow = -1
-				if c.banks[i].nextCmd < refreshEnd {
-					c.banks[i].nextCmd = refreshEnd
-				}
+	// closed. Catch up on all refresh windows the request time passed in
+	// one arithmetic step: successive windows only raise the same floor
+	// (each refreshEnd exceeds the last), so applying the final window's
+	// end to the banks and bus is identical to replaying every window — a
+	// channel idle for seconds catches up in O(banks), not O(windows).
+	if at >= c.nextRefresh {
+		k := (at-c.nextRefresh)/c.spec.RefreshInterval + 1
+		refreshEnd := c.nextRefresh + clock.Duration(k-1)*c.spec.RefreshInterval + c.spec.RefreshTime
+		for i := range c.banks {
+			c.banks[i].openRow = -1
+			if c.banks[i].nextCmd < refreshEnd {
+				c.banks[i].nextCmd = refreshEnd
 			}
-			if c.busFreeAt < refreshEnd {
-				c.busFreeAt = refreshEnd
-			}
-			c.stats.Refreshes++
-			c.nextRefresh += c.spec.RefreshInterval
 		}
+		if c.busFreeAt < refreshEnd {
+			c.busFreeAt = refreshEnd
+		}
+		c.stats.Refreshes += uint64(k)
+		c.nextRefresh += clock.Duration(k) * c.spec.RefreshInterval
 	}
 
-	b := &c.banks[row%uint64(len(c.banks))]
-	bankRow := int64(row / uint64(len(c.banks)))
+	var b *bank
+	var bankRow int64
+	if c.bankPow2 {
+		b = &c.banks[row&c.bankMask]
+		bankRow = int64(row >> c.bankShift)
+	} else {
+		b = &c.banks[row%uint64(len(c.banks))]
+		bankRow = int64(row / uint64(len(c.banks)))
+	}
 
 	start := clock.Max(at, b.nextCmd)
 	var lat clock.Duration
@@ -151,10 +194,10 @@ func (c *Channel) Access(row uint64, write bool, at clock.Time) clock.Time {
 	} else {
 		c.stats.Reads++
 	}
-	c.stats.BusBusy += c.burst
-	if done > c.stats.LastFinish {
-		c.stats.LastFinish = done
-	}
+	// done exceeds the previous access's completion (busStart >= the old
+	// busFreeAt, which was that completion), so LastFinish is monotone —
+	// no max needed. BusBusy is derived in Stats (burst per access).
+	c.stats.LastFinish = done
 	return done
 }
 

@@ -265,3 +265,73 @@ func TestRefreshValidation(t *testing.T) {
 		t.Error("tRFC >= tREFI accepted")
 	}
 }
+
+// refreshLoopReference replays missed refresh windows one at a time — the
+// definitional per-window form the arithmetic catch-up in Access replaces.
+// Running it on a channel right before an access leaves Access's own
+// catch-up nothing to do, so a channel driven through it and one driven
+// through Access alone must stay in lockstep if the arithmetic form is
+// exact.
+func refreshLoopReference(c *Channel, at clock.Time) {
+	for c.nextRefresh > 0 && at >= c.nextRefresh {
+		refreshEnd := c.nextRefresh + c.spec.RefreshTime
+		for i := range c.banks {
+			c.banks[i].openRow = -1
+			if c.banks[i].nextCmd < refreshEnd {
+				c.banks[i].nextCmd = refreshEnd
+			}
+		}
+		if c.busFreeAt < refreshEnd {
+			c.busFreeAt = refreshEnd
+		}
+		c.stats.Refreshes++
+		c.nextRefresh += c.spec.RefreshInterval
+	}
+}
+
+// TestRefreshCatchUpMatchesWindowLoop drives two identical channels with
+// the same access sequence — including idle gaps from sub-window to
+// multi-second, each spanning hundreds of thousands of tREFI windows —
+// and requires completion times and every counter to match between the
+// arithmetic catch-up and the per-window reference at each step.
+func TestRefreshCatchUpMatchesWindowLoop(t *testing.T) {
+	for _, spec := range []Spec{HBM().WithRefresh(), DDR4_1600().WithRefresh()} {
+		fast := NewChannel(spec)
+		ref := NewChannel(spec)
+		rng := rand.New(rand.NewSource(7))
+		gaps := []clock.Duration{
+			0,
+			clock.Microsecond,                 // sub-window
+			spec.RefreshInterval,              // exactly one window
+			10 * spec.RefreshInterval,         // a handful
+			clock.Duration(3 * clock.Second),  // ~384k windows
+			clock.Duration(11 * clock.Second), // multi-second idle stretch
+		}
+		var at clock.Time
+		// The reference loop replays every window individually, so the
+		// iteration count is modest: multi-second gaps make it walk
+		// hundreds of thousands of windows per access.
+		for i := 0; i < 250; i++ {
+			at += gaps[rng.Intn(len(gaps))] + clock.Duration(rng.Int63n(int64(200*clock.Nanosecond)))
+			row := uint64(rng.Intn(64))
+			write := rng.Intn(4) == 0
+
+			refreshLoopReference(ref, at)
+			gotRef := ref.Access(row, write, at)
+			got := fast.Access(row, write, at)
+			if got != gotRef {
+				t.Fatalf("%s access %d at %v: done %v, reference %v", spec.Name, i, at, got, gotRef)
+			}
+			if fast.stats != ref.stats {
+				t.Fatalf("%s access %d: stats %+v, reference %+v", spec.Name, i, fast.stats, ref.stats)
+			}
+			if fast.nextRefresh != ref.nextRefresh || fast.busFreeAt != ref.busFreeAt {
+				t.Fatalf("%s access %d: nextRefresh/busFreeAt diverged", spec.Name, i)
+			}
+		}
+		if fast.stats.Refreshes == 0 {
+			t.Fatalf("%s: sequence exercised no refresh windows", spec.Name)
+		}
+	}
+}
+

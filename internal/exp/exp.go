@@ -232,7 +232,11 @@ func (c Config) run(w workload.Workload, b builder, traces *tracecache.Cache, us
 	// allocations instead of paying fresh multi-MB zeroing per cell.
 	defer mech.Release(m)
 	engine := sim.New(backend, m)
-	res, err := engine.Run(w.Name, snap.Stream())
+	// Replay through the snapshot's predecode plane for this cell's layout:
+	// the plane is computed once per (snapshot, layout) and shared by every
+	// cell replaying it, so the matrix decodes each trace once, not once per
+	// mechanism (see trace.Snapshot.Plane).
+	res, err := engine.Run(w.Name, snap.DecodedStream(&backend.Geom))
 	if err != nil {
 		return stats.Result{}, err
 	}
@@ -269,6 +273,10 @@ func (c Config) matrix(builders []builder) (map[string]map[string]stats.Result, 
 			b, w := b, w
 			tasks = append(tasks, runner.Task[stats.Result]{
 				Key: b.name + "/" + w.Name,
+				// CPU profiles of a sweep attribute samples per cell:
+				// `go tool pprof -tagfocus mechanism=MemPod` (or
+				// workload=mix3) isolates one cell's share.
+				Labels: []string{"mechanism", b.name, "workload", w.Name},
 				Run: func() (stats.Result, error) {
 					return c.run(w, b, traces, uses[c.traceKey(w)])
 				},

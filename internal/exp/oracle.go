@@ -59,7 +59,8 @@ func (c Config) OracleStudy() ([]OracleResult, error) {
 	for i, w := range c.Workloads {
 		w := w
 		tasks[i] = runner.Task[OracleResult]{
-			Key: "oracle/" + w.Name,
+			Key:    "oracle/" + w.Name,
+			Labels: []string{"mechanism", "oracle", "workload", w.Name},
 			Run: func() (OracleResult, error) {
 				return c.oracleOne(w, traces, uses[c.traceKey(w)])
 			},

@@ -200,14 +200,29 @@ func (h *HMA) Release() {
 
 // Access implements mech.Mechanism.
 func (h *HMA) Access(r *trace.Request, at clock.Time) clock.Time {
+	page := uint32(addr.PageOf(addr.Addr(r.Addr)))
+	li := int(uint64(addr.LineOf(addr.Addr(r.Addr))) % addr.LinesPerPage)
+	return h.access(r, page, li, at, nil)
+}
+
+// AccessDecoded implements mech.DecodedAccessor. The page and line come
+// from the plane; for un-remapped pages (the identity mapping, most of
+// the trace) the plane's precomputed home channel/row services the access
+// directly, and only migrated pages re-derive HomeFrame(slot) at runtime.
+func (h *HMA) AccessDecoded(r *trace.Request, d *trace.Decoded, at clock.Time) clock.Time {
+	return h.access(r, uint32(d.Page), int(d.Line), at, d)
+}
+
+func (h *HMA) access(r *trace.Request, page uint32, li int, at clock.Time, d *trace.Decoded) clock.Time {
 	for at >= h.next {
 		h.runInterval(h.next)
 		h.next += h.cfg.Interval
 	}
-	h.drain(at)
+	if h.qpos < len(h.queue) && h.queue[h.qpos].start <= at {
+		h.drain(at)
+	}
 
 	start := at
-	page := uint32(addr.PageOf(addr.Addr(r.Addr)))
 	if h.touch.Touch(r.Core, uint64(page)) {
 		if c := h.counters.A[page]; c < h.counterMax {
 			h.counters.Set(page, c, c+1)
@@ -223,17 +238,16 @@ func (h *HMA) Access(r *trace.Request, at clock.Time) clock.Time {
 		}
 	}
 	var lockEnd clock.Time
-	if end := h.locks.Get(uint64(page)); end != 0 {
-		if end > start {
-			lockEnd = end
-			h.stats.LockStalls++
-		} else {
-			h.locks.Drop(uint64(page))
-		}
+	if end := h.locks.GetActive(uint64(page), start); end != 0 {
+		lockEnd = end
+		h.stats.LockStalls++
 	}
 	slot := addr.Page(h.remap.A[page])
+	if d != nil && uint64(slot) == uint64(page) {
+		// Identity remap: the plane already resolved the home location.
+		return clock.Max(h.backend.LineAt(d.Chan, d.Row, r.Write, start), lockEnd)
+	}
 	pod, f := h.geom.HomeFrame(slot)
-	li := int(uint64(addr.LineOf(addr.Addr(r.Addr))) % addr.LinesPerPage)
 	return clock.Max(h.backend.Line(pod, f, li, r.Write, start), lockEnd)
 }
 
@@ -472,6 +486,7 @@ func (h *HMA) CheckInvariants() error {
 func (h *HMA) FrameOfPage(p addr.Page) addr.Page { return addr.Page(h.remap.A[uint32(p)]) }
 
 var (
-	_ mech.Mechanism = (*HMA)(nil)
-	_ mech.Releaser  = (*HMA)(nil)
+	_ mech.Mechanism       = (*HMA)(nil)
+	_ mech.DecodedAccessor = (*HMA)(nil)
+	_ mech.Releaser        = (*HMA)(nil)
 )

@@ -201,6 +201,8 @@ func (m *MEA) Reset() {
 // the cost the paper's ~12800x comparison is about.
 type FullCounters struct {
 	counts map[uint64]uint64
+	hotBuf []Entry // reused by Hot, like MEA.hotBuf
+	sorter entrySorter
 }
 
 // NewFullCounters returns an empty Full Counters tracker.
@@ -214,13 +216,16 @@ func (f *FullCounters) Observe(p uint64) { f.counts[p]++ }
 // Len returns the number of pages with nonzero counts.
 func (f *FullCounters) Len() int { return len(f.counts) }
 
-// Hot implements Tracker. For Full Counters this ranks every observed page.
+// Hot implements Tracker. For Full Counters this ranks every observed
+// page. The returned slice is reused by the next Hot call on this tracker.
 func (f *FullCounters) Hot() []Entry {
-	out := make([]Entry, 0, len(f.counts))
+	out := f.hotBuf[:0]
 	for p, c := range f.counts {
 		out = append(out, Entry{Page: p, Count: c})
 	}
-	sortEntries(out)
+	f.hotBuf = out
+	f.sorter.es = out
+	sort.Sort(&f.sorter)
 	return out
 }
 

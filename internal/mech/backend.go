@@ -18,23 +18,67 @@ type Backend struct {
 	Sys    *memsys.System
 	Layout addr.Layout
 	Geom   addr.Geom
+
+	// Per-pod first channel of each level, precomputed so Line resolves a
+	// frame to its channel with one table lookup plus a remainder instead
+	// of re-deriving pod*channelsPerPod on every request.
+	fastBase []int32
+	slowBase []int32
+	// Channels-per-pod divisors and the fast-frame boundary, hoisted out
+	// of Geom for the same reason.
+	dFastCPP   addr.Divisor
+	dSlowCPP   addr.Divisor
+	fastPerPod uint32
 }
 
 // NewBackend wraps a memory system.
 func NewBackend(sys *memsys.System) *Backend {
 	l := sys.Layout()
-	return &Backend{Sys: sys, Layout: l, Geom: l.Geom()}
+	b := &Backend{Sys: sys, Layout: l, Geom: l.Geom()}
+	b.fastPerPod = b.Geom.FastPerPod()
+	fastCPP, slowCPP := 0, 0
+	if l.NumPods > 0 {
+		fastCPP = l.FastChannels / l.NumPods
+		slowCPP = l.SlowChannels / l.NumPods
+	}
+	b.dFastCPP = addr.NewDivisor(uint64(fastCPP))
+	b.dSlowCPP = addr.NewDivisor(uint64(slowCPP))
+	b.fastBase = make([]int32, l.NumPods)
+	b.slowBase = make([]int32, l.NumPods)
+	for pod := 0; pod < l.NumPods; pod++ {
+		b.fastBase[pod] = int32(pod * fastCPP)
+		b.slowBase[pod] = int32(l.FastChannels + pod*slowCPP)
+	}
+	return b
 }
 
 // Line services line `li` (0..31) of frame f in pod `pod` and returns the
-// completion time.
+// completion time. It resolves the frame's channel and row directly (the
+// channel model keys timing on rows; lines within a page share one row),
+// bit-identical to Sys.Access(Geom.FrameLocation(pod, f, li), ...).
 func (b *Backend) Line(pod int, f addr.Frame, li int, write bool, at clock.Time) clock.Time {
-	return b.Sys.Access(b.Geom.FrameLocation(pod, f, li), write, at)
+	if uint32(f) < b.fastPerPod {
+		fv := uint64(uint32(f))
+		ch := int(b.fastBase[pod]) + int(b.dFastCPP.Mod(fv))
+		return b.Sys.AccessChannel(ch, b.dFastCPP.Div(fv)/addr.PagesPerRow, write, at)
+	}
+	sf := uint64(uint32(f) - b.fastPerPod)
+	ch := int(b.slowBase[pod]) + int(b.dSlowCPP.Mod(sf))
+	return b.Sys.AccessChannel(ch, b.dSlowCPP.Div(sf)/addr.PagesPerRow, write, at)
+}
+
+// LineAt services one line access at an already-resolved channel/row —
+// the fast path for the predecode plane's home location (trace.Decoded
+// carries FrameLocation's channel and row, which Line would re-derive).
+// The coordinates must come from this backend's own layout.
+func (b *Backend) LineAt(ch uint16, row uint32, write bool, at clock.Time) clock.Time {
+	return b.Sys.AccessChannel(int(ch), uint64(row), write, at)
 }
 
 // HomeLine services a line at its home (pre-migration) location.
 func (b *Backend) HomeLine(ln addr.Line, write bool, at clock.Time) clock.Time {
-	return b.Sys.Access(b.Geom.HomeLocation(ln), write, at)
+	pod, f := b.Geom.HomeFrame(addr.PageOfLine(ln))
+	return b.Line(pod, f, int(uint64(ln)%addr.LinesPerPage), write, at)
 }
 
 // SwapPages performs the full datapath of one page swap between frames a

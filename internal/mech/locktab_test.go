@@ -106,3 +106,61 @@ func TestLockTableRaiseKeepsLaterEnd(t *testing.T) {
 		t.Fatalf("Get(5) = %d, want 150", got)
 	}
 }
+
+// TestLockTableGetActiveMatchesIdiom drives GetActive against the
+// Get-then-Drop-if-expired idiom it fuses, running on a reference map.
+// Both the stall answer and the table contents must match the idiom
+// exactly at every step: the lazy drop is observable (a dropped entry and
+// a kept-expired one answer differently to a later, earlier-timed probe),
+// so GetActive must perform it at exactly the probes the idiom does.
+func TestLockTableGetActiveMatchesIdiom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var lt LockTable
+	ref := make(map[uint64]clock.Time)
+
+	const keys = 40
+	for step := 0; step < 50000; step++ {
+		k := uint64(rng.Intn(keys))
+		switch rng.Intn(5) {
+		case 0, 1: // the access-path probe
+			at := clock.Time(rng.Intn(1000))
+			var want clock.Time
+			if end, ok := ref[k]; ok {
+				if end > at {
+					want = end
+				} else {
+					delete(ref, k)
+				}
+			}
+			if got := lt.GetActive(k, at); got != want {
+				t.Fatalf("step %d: GetActive(%d, %d) = %d, want %d", step, k, at, got, want)
+			}
+		case 2: // swap-chunk lock raise
+			end := clock.Time(1 + rng.Intn(1000))
+			if end > ref[k] {
+				ref[k] = end
+			}
+			lt.Raise(k, end)
+		case 3: // interval-boundary sweep
+			b := clock.Time(rng.Intn(1000))
+			for k, end := range ref {
+				if end <= b {
+					delete(ref, k)
+				}
+			}
+			lt.Sweep(b)
+		case 4: // CAMEO's overwriting assignment
+			end := clock.Time(1 + rng.Intn(1000))
+			ref[k] = end
+			lt.Put(k, end)
+		}
+		if lt.Len() != len(ref) {
+			t.Fatalf("step %d: Len = %d, map has %d", step, lt.Len(), len(ref))
+		}
+		for k, end := range ref {
+			if lt.Get(k) != end {
+				t.Fatalf("step %d: map entry {%d,%d} missing from table", step, k, end)
+			}
+		}
+	}
+}

@@ -28,6 +28,28 @@ type Mechanism interface {
 	Stats() MigStats
 }
 
+// DecodedAccessor is optionally implemented by mechanisms that can skip
+// the flat-address decomposition when the trace comes with a predecode
+// plane (trace.Decoded: page, owning pod, home frame, line-in-page). The
+// engine's batched path dispatches through it when the stream has a plane
+// bound; AccessDecoded must be bit-identical to Access for the same
+// request.
+type DecodedAccessor interface {
+	Mechanism
+	// AccessDecoded is Access with the request's address decomposition
+	// already computed (d describes r.Addr under the backend's layout).
+	AccessDecoded(r *trace.Request, d *trace.Decoded, at clock.Time) clock.Time
+}
+
+// AccessDecoded services r through m's decoded entry point when it has
+// one, falling back to plain Access.
+func AccessDecoded(m Mechanism, r *trace.Request, d *trace.Decoded, at clock.Time) clock.Time {
+	if dm, ok := m.(DecodedAccessor); ok {
+		return dm.AccessDecoded(r, d, at)
+	}
+	return m.Access(r, at)
+}
+
 // Releaser is optionally implemented by mechanisms whose bookkeeping
 // tables recycle through internal/tab pools. Callers that construct many
 // mechanisms in sequence (the experiment matrix) call Release after the

@@ -28,7 +28,17 @@ func (s *Static) Access(r *trace.Request, at clock.Time) clock.Time {
 	return s.backend.HomeLine(addr.LineOf(addr.Addr(r.Addr)), r.Write, at)
 }
 
+// AccessDecoded implements DecodedAccessor: with no migration, the home
+// location in the plane is the final location — the access needs no
+// address math at all.
+func (s *Static) AccessDecoded(r *trace.Request, d *trace.Decoded, at clock.Time) clock.Time {
+	return s.backend.LineAt(d.Chan, d.Row, r.Write, at)
+}
+
 // Stats implements Mechanism. Static never migrates.
 func (s *Static) Stats() MigStats { return MigStats{} }
 
-var _ Mechanism = (*Static)(nil)
+var (
+	_ Mechanism       = (*Static)(nil)
+	_ DecodedAccessor = (*Static)(nil)
+)

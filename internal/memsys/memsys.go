@@ -19,12 +19,14 @@ import (
 
 // System is a collection of DRAM channels with dense IDs per addr.Layout:
 // channels [0, FastChannels) use the fast spec, the rest the slow spec.
+// Channels are stored by value in one dense slice, so the per-request path
+// indexes straight into channel state with no per-channel pointer chase.
 // Not safe for concurrent use.
 type System struct {
 	layout   addr.Layout
 	fast     dram.Spec
 	slow     dram.Spec
-	channels []*dram.Channel
+	channels []dram.Channel
 }
 
 // New builds the memory system for a layout. Single-level layouts (zero
@@ -35,14 +37,16 @@ func New(layout addr.Layout, fast, slow dram.Spec) (*System, error) {
 		return nil, err
 	}
 	s := &System{layout: layout, fast: fast, slow: slow}
-	for i := 0; i < layout.FastChannels; i++ {
-		s.channels = append(s.channels, dram.NewChannel(fast))
-	}
-	for i := 0; i < layout.SlowChannels; i++ {
-		s.channels = append(s.channels, dram.NewChannel(slow))
-	}
-	if len(s.channels) == 0 {
+	n := layout.FastChannels + layout.SlowChannels
+	if n == 0 {
 		return nil, fmt.Errorf("memsys: layout has no channels")
+	}
+	s.channels = make([]dram.Channel, n)
+	for i := 0; i < layout.FastChannels; i++ {
+		s.channels[i] = dram.MakeChannel(fast)
+	}
+	for i := layout.FastChannels; i < n; i++ {
+		s.channels[i] = dram.MakeChannel(slow)
 	}
 	return s, nil
 }
@@ -64,8 +68,14 @@ func (s *System) Layout() addr.Layout { return s.layout }
 // channel directly: lines within one 8 KB row share a bank and row buffer,
 // while consecutive rows interleave across banks.
 func (s *System) Access(loc addr.Location, write bool, at clock.Time) clock.Time {
-	ch := s.channels[loc.Channel]
-	return ch.Access(loc.Row, write, at)
+	return s.channels[loc.Channel].Access(loc.Row, write, at)
+}
+
+// AccessChannel services one 64-byte request on an already-resolved
+// channel/row pair — the hot-path form of Access for callers (mech.Backend)
+// that compute the channel index directly from precomputed pod bases.
+func (s *System) AccessChannel(ch int, row uint64, write bool, at clock.Time) clock.Time {
+	return s.channels[ch].Access(row, write, at)
 }
 
 // LevelStats aggregates the channel counters of one memory level.
@@ -85,8 +95,8 @@ func (s *System) SlowStats() LevelStats {
 func (s *System) aggregate(lo, hi int) LevelStats {
 	var out LevelStats
 	out.Channels = hi - lo
-	for _, c := range s.channels[lo:hi] {
-		cs := c.Stats()
+	for i := lo; i < hi; i++ {
+		cs := s.channels[i].Stats()
 		out.Reads += cs.Reads
 		out.Writes += cs.Writes
 		out.RowHits += cs.RowHits

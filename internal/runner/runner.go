@@ -20,9 +20,11 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 )
 
@@ -32,6 +34,11 @@ import (
 type Task[T any] struct {
 	// Key labels the task in error messages, e.g. "MemPod/mix5".
 	Key string
+	// Labels, when non-empty, are pprof label key/value pairs (so the
+	// length must be even) attached to the goroutine for the duration of
+	// Run: a -cpuprofile of a sweep then attributes samples per cell
+	// (`go tool pprof -tagfocus`). Empty means no profiler interaction.
+	Labels []string
 	// Run produces the task's result.
 	Run func() (T, error)
 }
@@ -113,13 +120,20 @@ func Run[T any](tasks []Task[T], opts Options) ([]Result[T], error) {
 	return results, errors.Join(errs...)
 }
 
-// runOne invokes a task, converting a panic into an error.
+// runOne invokes a task, converting a panic into an error. Tasks carrying
+// Labels run under pprof.Do so profile samples taken during Run carry them.
 func runOne[T any](t Task[T]) (v T, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("panic: %v", r)
 		}
 	}()
+	if len(t.Labels) > 0 {
+		pprof.Do(context.Background(), pprof.Labels(t.Labels...), func(context.Context) {
+			v, err = t.Run()
+		})
+		return v, err
+	}
 	return t.Run()
 }
 

@@ -1,8 +1,10 @@
 package runner
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -166,5 +168,59 @@ func TestValues(t *testing.T) {
 	vs := Values(results)
 	if len(vs) != 4 || vs[3] != 9 {
 		t.Fatalf("Values = %v", vs)
+	}
+}
+
+// TestTaskLabelsApplied asserts a labeled task runs under its pprof labels
+// (and an unlabeled one does not). The goroutine profile at debug=1 prints
+// every goroutine's label set, including the running task's own record, so
+// the task can observe its labels deterministically — no CPU profile needed.
+func TestTaskLabelsApplied(t *testing.T) {
+	grab := func() (string, error) {
+		var buf bytes.Buffer
+		if err := pprof.Lookup("goroutine").WriteTo(&buf, 1); err != nil {
+			return "", err
+		}
+		return buf.String(), nil
+	}
+	tasks := []Task[string]{
+		{Key: "labeled", Labels: []string{"mechanism", "MemPod", "workload", "mix3"}, Run: grab},
+		{Key: "plain", Run: grab},
+	}
+	results, err := Run(tasks, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"mechanism":"MemPod"`, `"workload":"mix3"`} {
+		if !strings.Contains(results[0].Value, want) {
+			t.Errorf("labeled task's goroutine profile lacks %s", want)
+		}
+	}
+	if strings.Contains(results[1].Value, `"mechanism":"MemPod"`) {
+		t.Error("unlabeled task ran under a previous task's labels")
+	}
+}
+
+// TestTaskLabelsPropagateErrors asserts the pprof.Do wrapper is transparent
+// to results, errors and panics.
+func TestTaskLabelsPropagateErrors(t *testing.T) {
+	boom := errors.New("boom")
+	tasks := []Task[int]{
+		{Key: "v", Labels: []string{"k", "v"}, Run: func() (int, error) { return 42, nil }},
+		{Key: "e", Labels: []string{"k", "v"}, Run: func() (int, error) { return 0, boom }},
+		{Key: "p", Labels: []string{"k", "v"}, Run: func() (int, error) { panic("kaboom") }},
+	}
+	results, err := Run(tasks, Options{Parallelism: 1})
+	if err == nil {
+		t.Fatal("joined error missing")
+	}
+	if results[0].Err != nil || results[0].Value != 42 {
+		t.Errorf("labeled success: got (%d, %v)", results[0].Value, results[0].Err)
+	}
+	if !errors.Is(results[1].Err, boom) {
+		t.Errorf("labeled error lost: %v", results[1].Err)
+	}
+	if results[2].Err == nil || !strings.Contains(results[2].Err.Error(), "kaboom") {
+		t.Errorf("labeled panic not recovered: %v", results[2].Err)
 	}
 }

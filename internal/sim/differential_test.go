@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cameo"
+	"repro/internal/core"
+	"repro/internal/hma"
+	"repro/internal/mech"
+	"repro/internal/stats"
+	"repro/internal/thm"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// mechanisms is the full set under test, each built fresh over its own
+// backend so runs share nothing.
+var mechanisms = []struct {
+	name  string
+	build func(b *mech.Backend) mech.Mechanism
+}{
+	{"MemPod", func(b *mech.Backend) mech.Mechanism { return core.MustNew(core.DefaultConfig(), b) }},
+	{"MemPod-FC", func(b *mech.Backend) mech.Mechanism {
+		cfg := core.DefaultConfig()
+		cfg.UseFullCounters = true
+		return core.MustNew(cfg, b)
+	}},
+	{"HMA", func(b *mech.Backend) mech.Mechanism { return hma.MustNew(hma.DefaultConfig(), b) }},
+	{"THM", func(b *mech.Backend) mech.Mechanism { return thm.MustNew(thm.DefaultConfig(), b) }},
+	{"CAMEO", func(b *mech.Backend) mech.Mechanism { return cameo.MustNew(cameo.DefaultConfig(), b) }},
+	{"Static", func(b *mech.Backend) mech.Mechanism { return mech.NewStatic("TLM", b) }},
+}
+
+// diffResults compares two Results field-by-field via reflection so a
+// divergence names the exact field, not just "structs differ".
+func diffResults(t *testing.T, label string, got, want stats.Result) {
+	t.Helper()
+	gv, wv := reflect.ValueOf(got), reflect.ValueOf(want)
+	for i := 0; i < gv.NumField(); i++ {
+		f := gv.Type().Field(i)
+		if !reflect.DeepEqual(gv.Field(i).Interface(), wv.Field(i).Interface()) {
+			t.Errorf("%s: Result.%s = %v, want %v", label, f.Name, gv.Field(i).Interface(), wv.Field(i).Interface())
+		}
+	}
+}
+
+// TestBatchedEngineBitIdentical drives every mechanism over a mixed
+// workload three ways — the per-request serial path (plain SliceStream),
+// the batched path without a predecode plane (snapshot cursor), and the
+// fully fused batched path with the plane bound (DecodedStream +
+// AccessDecoded) — and requires field-identical Results. This is the
+// tentpole's differential guarantee: batching, the shared plane, and the
+// mechanisms' decoded fast paths are pure restructurings.
+func TestBatchedEngineBitIdentical(t *testing.T) {
+	const n = 60_000
+	w, err := workload.Mix(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := trace.Collect(w.MustStream(n, 11))
+	snap := trace.Record(trace.NewSliceStream(reqs), len(reqs))
+	defer snap.Release()
+
+	for _, mc := range mechanisms {
+		runWith := func(s trace.Stream) stats.Result {
+			b := newBackend()
+			m := mc.build(b)
+			res, err := New(b, m).Run(w.Name, s)
+			if err != nil {
+				t.Fatalf("%s: %v", mc.name, err)
+			}
+			return res
+		}
+		serial := runWith(trace.NewSliceStream(reqs))
+		batchedNoPlane := runWith(snap.Stream())
+		geomBackend := newBackend()
+		batchedPlane := runWith(snap.DecodedStream(&geomBackend.Geom))
+
+		if serial.Requests != n {
+			t.Fatalf("%s: serial replayed %d requests, want %d", mc.name, serial.Requests, n)
+		}
+		diffResults(t, mc.name+" batched(no plane) vs serial", batchedNoPlane, serial)
+		diffResults(t, mc.name+" batched(plane) vs serial", batchedPlane, serial)
+	}
+}
+
+// BenchmarkEngineBatched tracks the fused batched replay cost per
+// mechanism. The trace is snapshotted once outside the timer; each
+// iteration replays it through a fresh cursor on a persistent
+// backend+mechanism pair, so the steady state must be allocation-free
+// (the acceptance criterion the tentpole carries).
+func BenchmarkEngineBatched(b *testing.B) {
+	const n = 60_000
+	w, err := workload.Mix(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := trace.Collect(w.MustStream(n, 11))
+	snap := trace.Record(trace.NewSliceStream(reqs), len(reqs))
+	defer snap.Release()
+
+	for _, mc := range mechanisms {
+		b.Run(mc.name, func(b *testing.B) {
+			bk := newBackend()
+			m := mc.build(bk)
+			e := New(bk, m)
+			ss := snap.DecodedStream(&bk.Geom)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ss.Reset()
+				if _, err := e.Run(w.Name, ss); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

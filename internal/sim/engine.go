@@ -20,6 +20,12 @@ import (
 // (8 cores × 16 MSHRs).
 const DefaultWindow = 128
 
+// BatchSize is how many requests the batched path pulls from a
+// trace.BatchStream per NextBatch call: large enough to amortize the
+// cursor call and keep the batch's columns hot in L1, small enough that
+// two batch buffers (requests + decoded) stay around 10 KB.
+const BatchSize = 256
+
 // Engine runs traces against one mechanism.
 type Engine struct {
 	backend *mech.Backend
@@ -27,6 +33,15 @@ type Engine struct {
 	// Window caps outstanding requests; 0 means DefaultWindow, negative
 	// means unlimited.
 	Window int
+
+	// ring is the outstanding-request window, kept across runs so repeated
+	// Run calls on one engine (benchmarks, sweeps) stay allocation-free.
+	ring []clock.Time
+	// Batch buffers for runBatched, allocated on first use and reused:
+	// stack arrays would escape through the BatchStream interface call,
+	// costing two heap allocations per Run.
+	batchBuf []trace.Request
+	decBuf   []trace.Decoded
 }
 
 // New returns an engine for the mechanism built over the backend.
@@ -36,6 +51,13 @@ func New(b *mech.Backend, m mech.Mechanism) *Engine {
 
 // Run replays the stream to completion and returns the run's metrics.
 // The stream must be time-ordered (workload streams are).
+//
+// Streams that implement trace.BatchStream (snapshot replay cursors) are
+// driven through a batched loop that fuses window gating, order checking
+// and stall accounting over BatchSize-request chunks; when the stream also
+// carries a predecode plane and the mechanism implements
+// mech.DecodedAccessor, requests dispatch through AccessDecoded. Both
+// paths are bit-identical to the per-request fallback.
 func (e *Engine) Run(workload string, s trace.Stream) (stats.Result, error) {
 	window := e.Window
 	if window == 0 {
@@ -43,10 +65,44 @@ func (e *Engine) Run(workload string, s trace.Stream) (stats.Result, error) {
 	}
 	var ring []clock.Time
 	if window > 0 {
-		ring = make([]clock.Time, window)
+		if cap(e.ring) >= window {
+			ring = e.ring[:window]
+			for i := range ring {
+				ring[i] = 0
+			}
+		} else {
+			ring = make([]clock.Time, window)
+			e.ring = ring
+		}
 	}
 
 	res := stats.Result{Workload: workload, Mechanism: e.m.Name()}
+	var err error
+	if bs, ok := s.(trace.BatchStream); ok {
+		err = e.runBatched(bs, ring, window, &res)
+	} else {
+		err = e.runSerial(s, ring, window, &res)
+	}
+	if err != nil {
+		return res, err
+	}
+
+	fs, ss := e.backend.Sys.FastStats(), e.backend.Sys.SlowStats()
+	res.FastAccesses = fs.Accesses()
+	res.SlowAccesses = ss.Accesses()
+	res.FastActivations = fs.RowClosed + fs.RowConflicts
+	res.SlowActivations = ss.RowClosed + ss.RowConflicts
+	res.FastRowHitRate = fs.RowHitRate()
+	res.SlowRowHitRate = ss.RowHitRate()
+	if total := fs.Accesses() + ss.Accesses(); total > 0 {
+		res.RowHitRate = float64(fs.RowHits+ss.RowHits) / float64(total)
+	}
+	res.Mig = e.m.Stats()
+	return res, nil
+}
+
+// runSerial is the per-request replay loop, used for plain streams.
+func (e *Engine) runSerial(s trace.Stream, ring []clock.Time, window int, res *stats.Result) error {
 	var r trace.Request
 	var lastArrival clock.Time
 	// The ring position is a wrapping counter rather than Requests%window:
@@ -54,7 +110,7 @@ func (e *Engine) Run(workload string, s trace.Stream) (stats.Result, error) {
 	ringPos := 0
 	for s.Next(&r) {
 		if r.Time < lastArrival {
-			return res, fmt.Errorf("sim: trace out of order at request %d (%v < %v)",
+			return fmt.Errorf("sim: trace out of order at request %d (%v < %v)",
 				res.Requests, r.Time, lastArrival)
 		}
 		lastArrival = r.Time
@@ -69,7 +125,7 @@ func (e *Engine) Run(workload string, s trace.Stream) (stats.Result, error) {
 		}
 		done := e.m.Access(&r, at)
 		if done <= at {
-			return res, fmt.Errorf("sim: mechanism %s returned completion %v <= issue %v",
+			return fmt.Errorf("sim: mechanism %s returned completion %v <= issue %v",
 				e.m.Name(), done, at)
 		}
 		if ring != nil {
@@ -85,19 +141,92 @@ func (e *Engine) Run(workload string, s trace.Stream) (stats.Result, error) {
 			res.Span = done
 		}
 	}
+	return nil
+}
 
-	fs, ss := e.backend.Sys.FastStats(), e.backend.Sys.SlowStats()
-	res.FastAccesses = fs.Accesses()
-	res.SlowAccesses = ss.Accesses()
-	res.FastActivations = fs.RowClosed + fs.RowConflicts
-	res.SlowActivations = ss.RowClosed + ss.RowConflicts
-	res.FastRowHitRate = fs.RowHitRate()
-	res.SlowRowHitRate = ss.RowHitRate()
-	if total := fs.Accesses() + ss.Accesses(); total > 0 {
-		res.RowHitRate = float64(fs.RowHits+ss.RowHits) / float64(total)
+// runBatched replays a BatchStream in BatchSize chunks. The per-request
+// bookkeeping runs over the chunk's dense buffers with the accumulators in
+// locals, flushed to res once per chunk (and before any error return, so
+// partial results match the serial path exactly).
+func (e *Engine) runBatched(bs trace.BatchStream, ring []clock.Time, window int, res *stats.Result) error {
+	if e.batchBuf == nil {
+		e.batchBuf = make([]trace.Request, BatchSize)
+		e.decBuf = make([]trace.Decoded, BatchSize)
 	}
-	res.Mig = e.m.Stats()
-	return res, nil
+	buf, decBuf := e.batchBuf, e.decBuf
+	dm, _ := e.m.(mech.DecodedAccessor)
+	usePlane := dm != nil && bs.HasPlane()
+	// Snapshot cursors lend their plane entries by subslice; other batch
+	// streams fill our buffer.
+	sbs, sharedPlane := bs.(trace.SharedBatchStream)
+
+	var lastArrival clock.Time
+	var requests uint64
+	var totalStall, span clock.Duration
+	ringPos := 0
+	for {
+		var n int
+		dec := decBuf[:]
+		switch {
+		case sharedPlane:
+			n, dec = sbs.NextBatchShared(buf[:])
+		case usePlane:
+			n = bs.NextBatch(buf[:], dec)
+		default:
+			n = bs.NextBatch(buf[:], nil)
+		}
+		if n == 0 {
+			break
+		}
+		batch := buf[:n]
+		if usePlane {
+			// Equal lengths let the compiler drop the dec[i] bounds check
+			// inside the loop.
+			dec = dec[:n]
+		}
+		for i := range batch {
+			r := &batch[i]
+			if r.Time < lastArrival {
+				res.Requests, res.TotalStall, res.Span = requests, totalStall, span
+				return fmt.Errorf("sim: trace out of order at request %d (%v < %v)",
+					res.Requests, r.Time, lastArrival)
+			}
+			lastArrival = r.Time
+
+			at := r.Time
+			if ring != nil {
+				if gate := ring[ringPos]; gate > at {
+					at = gate
+				}
+			}
+			var done clock.Time
+			if usePlane {
+				done = dm.AccessDecoded(r, &dec[i], at)
+			} else {
+				done = e.m.Access(r, at)
+			}
+			if done <= at {
+				res.Requests, res.TotalStall, res.Span = requests, totalStall, span
+				return fmt.Errorf("sim: mechanism %s returned completion %v <= issue %v",
+					e.m.Name(), done, at)
+			}
+			if ring != nil {
+				ring[ringPos] = done
+				if ringPos++; ringPos == window {
+					ringPos = 0
+				}
+			}
+
+			requests++
+			totalStall += done - r.Time
+			if done > span {
+				span = done
+			}
+		}
+		res.Requests, res.TotalStall, res.Span = requests, totalStall, span
+	}
+	res.Requests, res.TotalStall, res.Span = requests, totalStall, span
+	return nil
 }
 
 // MustRun is Run for known-good streams; it panics on error.

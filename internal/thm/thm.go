@@ -331,12 +331,28 @@ func (t *THM) pageOf(seg uint64, member int) addr.Page {
 
 // Access implements mech.Mechanism.
 func (t *THM) Access(r *trace.Request, at clock.Time) clock.Time {
-	t.drain(at)
+	page := addr.PageOf(addr.Addr(r.Addr))
+	li := int(uint64(addr.LineOf(addr.Addr(r.Addr))) % addr.LinesPerPage)
+	return t.access(r, page, li, at, nil)
+}
+
+// AccessDecoded implements mech.DecodedAccessor. THM segments the flat
+// page space its own way, so the segment decomposition and the serviced
+// slot stay on the access path; but when the member still holds its home
+// slot (most of the trace), the plane's precomputed home channel/row
+// services the access without re-deriving HomeFrame.
+func (t *THM) AccessDecoded(r *trace.Request, d *trace.Decoded, at clock.Time) clock.Time {
+	return t.access(r, addr.Page(d.Page), int(d.Line), at, d)
+}
+
+func (t *THM) access(r *trace.Request, page addr.Page, li int, at clock.Time, d *trace.Decoded) clock.Time {
+	if len(t.queue) > 0 && t.queue[0].start <= at {
+		t.drain(at)
+	}
 	// Locks only shed entries when their page is re-accessed; compact the
 	// table occasionally using the trace clock as the expiry floor (no
 	// future request can query a lock before its own, later, trace time).
 	t.locks.MaybeCompact(r.Time)
-	page := addr.PageOf(addr.Addr(r.Addr))
 	seg, member := t.segmentOf(page)
 	s := &t.segments[seg]
 	if s.gen != t.gen {
@@ -354,13 +370,9 @@ func (t *THM) Access(r *trace.Request, at clock.Time) clock.Time {
 		}
 	}
 	var lockEnd clock.Time
-	if end := t.locks.Get(uint64(page)); end != 0 {
-		if end > start {
-			lockEnd = end
-			t.stats.LockStalls++
-		} else {
-			t.locks.Drop(uint64(page))
-		}
+	if end := t.locks.GetActive(uint64(page), start); end != 0 {
+		lockEnd = end
+		t.stats.LockStalls++
 	}
 
 	slot := slotOfMember(t.effSlots(s), member, t.members)
@@ -373,9 +385,15 @@ func (t *THM) Access(r *trace.Request, at clock.Time) clock.Time {
 
 	// Service the request at the member's current slot.
 	slotPage := t.pageOf(seg, slot)
-	pod, f := t.geom.HomeFrame(slotPage)
-	li := int(uint64(addr.LineOf(addr.Addr(r.Addr))) % addr.LinesPerPage)
-	done := clock.Max(t.backend.Line(pod, f, li, r.Write, start), lockEnd)
+	var done clock.Time
+	if d != nil && slotPage == page {
+		// The member sits in its home slot: the plane already resolved
+		// the home location.
+		done = clock.Max(t.backend.LineAt(d.Chan, d.Row, r.Write, start), lockEnd)
+	} else {
+		pod, f := t.geom.HomeFrame(slotPage)
+		done = clock.Max(t.backend.Line(pod, f, li, r.Write, start), lockEnd)
+	}
 
 	if trigger {
 		t.swap(seg, s, slot, start)
@@ -492,6 +510,7 @@ func (t *THM) SlotOfPage(p addr.Page) int {
 }
 
 var (
-	_ mech.Mechanism = (*THM)(nil)
-	_ mech.Releaser  = (*THM)(nil)
+	_ mech.Mechanism       = (*THM)(nil)
+	_ mech.DecodedAccessor = (*THM)(nil)
+	_ mech.Releaser        = (*THM)(nil)
 )

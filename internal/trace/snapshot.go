@@ -7,6 +7,7 @@ import (
 	"io"
 	"sync"
 
+	"repro/internal/addr"
 	"repro/internal/clock"
 )
 
@@ -38,6 +39,41 @@ type Snapshot struct {
 	addrs  []uint64 // one per request
 	writes []uint64 // bitset, one bit per request
 	cores  []byte   // one per request
+
+	// Predecode planes, one per address layout that asked (see Plane).
+	// Guarded by planeMu; the plane buffers recycle with the snapshot.
+	planeMu sync.Mutex
+	planes  []plane
+
+	// Decoded absolute timestamps (see TimeColumn), built lazily like the
+	// planes and likewise recycled. Guarded by timeMu.
+	timeMu    sync.Mutex
+	timeCol   []clock.Time
+	timeValid bool
+}
+
+// Decoded is one entry of a snapshot's predecode plane: the page/pod/
+// home-frame/line decomposition of the request's address under one
+// addr.Layout — including the home frame's channel/row placement, so an
+// unmigrated access needs no address math at all — computed once per
+// snapshot instead of once per simulation cell. 24 bytes, so a 256-entry
+// batch (6 KB) stays L1-resident.
+type Decoded struct {
+	Page  uint64 // global page index (addr.PageOf)
+	Frame uint32 // home frame within the owning pod (addr.Layout.HomeFrame)
+	Row   uint32 // row within Chan holding the home frame (FrameLocation)
+	Chan  uint16 // channel servicing the home frame (FrameLocation)
+	Pod   uint16 // owning pod
+	Line  uint8  // line index within the page, [0, addr.LinesPerPage)
+}
+
+// plane is one cached predecode plane and the layout it was decoded under.
+// Record invalidates planes but keeps their buffers, so a pooled snapshot's
+// next recording reuses the capacity.
+type plane struct {
+	layout addr.Layout
+	valid  bool
+	dec    []Decoded
 }
 
 // snapPool recycles snapshot buffers across recordings, the same idiom as
@@ -61,6 +97,10 @@ func Record(s Stream, n int) *Snapshot {
 	snap.writes = snap.writes[:0]
 	snap.cores = snap.cores[:0]
 	snap.n = 0
+	for i := range snap.planes {
+		snap.planes[i].valid = false
+	}
+	snap.timeValid = false
 
 	var r Request
 	var prev clock.Time
@@ -106,13 +146,112 @@ func (s *Snapshot) Stream() *SnapshotStream {
 	return &SnapshotStream{snap: s}
 }
 
+// Plane returns the snapshot's predecode plane for g's layout, computing
+// it on first request: one Decoded entry per recorded request. Planes are
+// cached per layout (the experiment matrix mixes the standard two-level
+// layout with single-level reference layouts), so all cells sharing a
+// layout share one decode pass; computation is single-flight under the
+// snapshot's lock. The returned slice is read-only and lives exactly as
+// long as the snapshot: Release recycles the plane buffers with it.
+func (s *Snapshot) Plane(g *addr.Geom) []Decoded {
+	s.planeMu.Lock()
+	defer s.planeMu.Unlock()
+	slot := -1
+	for i := range s.planes {
+		if s.planes[i].valid {
+			if s.planes[i].layout == g.Layout {
+				return s.planes[i].dec
+			}
+		} else if slot < 0 {
+			slot = i
+		}
+	}
+	if slot < 0 {
+		s.planes = append(s.planes, plane{})
+		slot = len(s.planes) - 1
+	}
+	pl := &s.planes[slot]
+	dec := pl.dec
+	if cap(dec) < s.n {
+		dec = make([]Decoded, s.n)
+	} else {
+		dec = dec[:s.n]
+	}
+	for i, a := range s.addrs {
+		p := addr.PageOf(addr.Addr(a))
+		pod, f := g.HomeFrame(p)
+		loc := g.FrameLocation(pod, f, 0)
+		dec[i] = Decoded{
+			Page:  uint64(p),
+			Frame: uint32(f),
+			Row:   uint32(loc.Row),
+			Chan:  uint16(loc.Channel),
+			Pod:   uint16(pod),
+			Line:  uint8(uint64(addr.LineOf(addr.Addr(a))) % addr.LinesPerPage),
+		}
+	}
+	pl.dec, pl.layout, pl.valid = dec, g.Layout, true
+	return dec
+}
+
+// TimeColumn returns the snapshot's absolute timestamps as a dense column,
+// decoding the varint deltas once on first request. Like Plane, the column
+// is shared by every cursor over the snapshot (single-flight under a lock)
+// and its buffer recycles with the snapshot, so the six mechanism cells
+// replaying one workload pay one decode pass instead of six.
+func (s *Snapshot) TimeColumn() []clock.Time {
+	s.timeMu.Lock()
+	defer s.timeMu.Unlock()
+	if s.timeValid {
+		return s.timeCol
+	}
+	col := s.timeCol
+	if cap(col) < s.n {
+		col = make([]clock.Time, s.n)
+	} else {
+		col = col[:s.n]
+	}
+	times := s.times
+	off := 0
+	var now clock.Time
+	for i := range col {
+		var delta uint64
+		var shift uint
+		for {
+			b := times[off]
+			off++
+			delta |= uint64(b&0x7f) << shift
+			if b < 0x80 {
+				break
+			}
+			shift += 7
+		}
+		now += clock.Time(delta)
+		col[i] = now
+	}
+	s.timeCol, s.timeValid = col, true
+	return col
+}
+
+// DecodedStream returns a replay cursor with the plane for g's layout and
+// the decoded time column bound, so batch replay is pure column reads with
+// no per-cell varint or address decoding.
+func (s *Snapshot) DecodedStream(g *addr.Geom) *SnapshotStream {
+	return &SnapshotStream{snap: s, dec: s.Plane(g), times: s.TimeColumn()}
+}
+
 // SnapshotStream replays a Snapshot as a trace.Stream. Next performs no
 // allocation: it decodes one varint delta and indexes the columnar arrays.
+// NextBatch amortizes the cursor bookkeeping over whole batches and, when a
+// predecode plane is bound (DecodedStream/BindPlane), delivers each
+// request's Decoded entry alongside it.
 type SnapshotStream struct {
-	snap *Snapshot
-	pos  int        // next request index
-	off  int        // byte offset into snap.times
-	now  clock.Time // running timestamp
+	snap  *Snapshot
+	dec   []Decoded    // bound predecode plane, nil if none
+	times []clock.Time // bound decoded time column, nil if none
+	pos   int          // next request index
+	off   int          // byte offset into snap.times (varint path only)
+	now   clock.Time   // running timestamp (varint path only)
 }
 
 // Next implements Stream.
@@ -121,22 +260,26 @@ func (ss *SnapshotStream) Next(r *Request) bool {
 	if ss.pos >= s.n {
 		return false
 	}
-	// Inline uvarint decode over the times column. The loop always
-	// terminates within the recorded bytes: Record wrote one complete
-	// varint per request.
-	var delta uint64
-	var shift uint
-	for {
-		b := s.times[ss.off]
-		ss.off++
-		delta |= uint64(b&0x7f) << shift
-		if b < 0x80 {
-			break
+	if ss.times != nil {
+		r.Time = ss.times[ss.pos]
+	} else {
+		// Inline uvarint decode over the times column. The loop always
+		// terminates within the recorded bytes: Record wrote one complete
+		// varint per request.
+		var delta uint64
+		var shift uint
+		for {
+			b := s.times[ss.off]
+			ss.off++
+			delta |= uint64(b&0x7f) << shift
+			if b < 0x80 {
+				break
+			}
+			shift += 7
 		}
-		shift += 7
+		ss.now += clock.Time(delta)
+		r.Time = ss.now
 	}
-	ss.now += clock.Time(delta)
-	r.Time = ss.now
 	r.Addr = s.addrs[ss.pos]
 	r.Core = s.cores[ss.pos]
 	r.Write = s.writes[ss.pos>>6]&(1<<(uint(ss.pos)&63)) != 0
@@ -147,6 +290,111 @@ func (ss *SnapshotStream) Next(r *Request) bool {
 // Reset rewinds the cursor to the beginning of the snapshot.
 func (ss *SnapshotStream) Reset() {
 	ss.pos, ss.off, ss.now = 0, 0, 0
+}
+
+// Snapshot returns the snapshot the cursor replays.
+func (ss *SnapshotStream) Snapshot() *Snapshot { return ss.snap }
+
+// BindPlane attaches a predecode plane to the cursor. The plane must be
+// the cursor's snapshot's own (Snapshot.Plane), decoded under the same
+// geometry the consumer services requests with; it panics on a
+// length mismatch. Pass nil to unbind.
+func (ss *SnapshotStream) BindPlane(dec []Decoded) {
+	if dec != nil && len(dec) != ss.snap.n {
+		panic(fmt.Sprintf("trace: plane length %d != snapshot length %d", len(dec), ss.snap.n))
+	}
+	ss.dec = dec
+}
+
+// HasPlane implements BatchStream: it reports whether NextBatch fills
+// Decoded entries.
+func (ss *SnapshotStream) HasPlane() bool { return ss.dec != nil }
+
+// NextBatch implements BatchStream: it fills dst with up to len(dst)
+// requests and returns how many were produced (0 at end of stream). When a
+// plane is bound and `plane` is non-nil, plane[i] receives the predecoded
+// form of dst[i]; plane must then be at least len(dst) long. The request
+// sequence is identical to repeated Next calls, and the two may be mixed
+// on one cursor.
+func (ss *SnapshotStream) NextBatch(dst []Request, plane []Decoded) int {
+	base := ss.pos
+	n := ss.fillBatch(dst)
+	if n > 0 && ss.dec != nil && plane != nil {
+		copy(plane[:n], ss.dec[base:base+n])
+	}
+	return n
+}
+
+// NextBatchShared is NextBatch without the plane copy: the batch's decoded
+// entries come back as a read-only subslice of the bound plane (nil when no
+// plane is bound). The engine's batched loop uses this form.
+func (ss *SnapshotStream) NextBatchShared(dst []Request) (int, []Decoded) {
+	base := ss.pos
+	n := ss.fillBatch(dst)
+	if n == 0 || ss.dec == nil {
+		return n, nil
+	}
+	return n, ss.dec[base : base+n]
+}
+
+// fillBatch advances the cursor by up to len(dst) requests, writing them
+// into dst, and returns the count.
+func (ss *SnapshotStream) fillBatch(dst []Request) int {
+	s := ss.snap
+	n := s.n - ss.pos
+	if n <= 0 {
+		return 0
+	}
+	if n > len(dst) {
+		n = len(dst)
+	}
+	base := ss.pos
+	// Hoist the column slices so the per-request body indexes with
+	// compiler-visible bounds.
+	addrs := s.addrs[base : base+n]
+	cores := s.cores[base : base+n]
+	writes := s.writes
+	if ss.times != nil {
+		// Decoded time column bound: the batch is pure column reads.
+		ts := ss.times[base : base+n]
+		for i := 0; i < n; i++ {
+			p := base + i
+			dst[i] = Request{
+				Addr:  addrs[i],
+				Time:  ts[i],
+				Write: writes[p>>6]&(1<<(uint(p)&63)) != 0,
+				Core:  cores[i],
+			}
+		}
+		ss.pos = base + n
+		return n
+	}
+	// Varint path: the same inlined delta decode Next uses.
+	times := s.times
+	off, now := ss.off, ss.now
+	for i := 0; i < n; i++ {
+		var delta uint64
+		var shift uint
+		for {
+			b := times[off]
+			off++
+			delta |= uint64(b&0x7f) << shift
+			if b < 0x80 {
+				break
+			}
+			shift += 7
+		}
+		now += clock.Time(delta)
+		p := base + i
+		dst[i] = Request{
+			Addr:  addrs[i],
+			Time:  now,
+			Write: writes[p>>6]&(1<<(uint(p)&63)) != 0,
+			Core:  cores[i],
+		}
+	}
+	ss.pos, ss.off, ss.now = base+n, off, now
+	return n
 }
 
 // Snapshot file format (the -trace-in/-trace-out persistence of

@@ -27,6 +27,30 @@ type Stream interface {
 	Next(r *Request) bool
 }
 
+// BatchStream is a Stream that can additionally deliver requests in
+// batches, optionally accompanied by their predecoded address
+// decompositions. The simulation engine takes this path when offered
+// (SnapshotStream implements it); plain streams fall back to Next.
+type BatchStream interface {
+	Stream
+	// NextBatch fills dst with up to len(dst) requests — the same
+	// sequence Next would produce — and returns the count (0 when
+	// exhausted). If HasPlane reports true and plane is non-nil, plane[i]
+	// is filled with the decoded form of dst[i].
+	NextBatch(dst []Request, plane []Decoded) int
+	// HasPlane reports whether a predecode plane is bound.
+	HasPlane() bool
+}
+
+// SharedBatchStream is a BatchStream whose decoded entries can be borrowed
+// without copying: NextBatchShared returns the batch's Decoded entries as a
+// read-only subslice of the stream's own plane (nil when none is bound),
+// valid until the next cursor advance.
+type SharedBatchStream interface {
+	BatchStream
+	NextBatchShared(dst []Request) (int, []Decoded)
+}
+
 // SliceStream adapts an in-memory request slice to a Stream.
 type SliceStream struct {
 	reqs []Request
@@ -129,13 +153,50 @@ func NewMergeStream(srcs ...Stream) *MergeStream {
 // Next implements Stream.
 func (m *MergeStream) Next(r *Request) bool {
 	times := m.times
-	if len(times) == 0 {
-		return false
-	}
-	best, bt := 0, times[0]
-	for i := 1; i < len(times); i++ {
-		if times[i] < bt {
-			best, bt = i, times[i]
+	var best int
+	if len(times) == 8 {
+		// The full 8-core head set, the common case until sources start
+		// exhausting: an unrolled tournament whose compare chains are
+		// independent (instruction-level parallelism, branchless
+		// selects) instead of one serial scan. Every node keeps the left
+		// operand on ties and left operands always carry the smaller
+		// indices, so the winner is the first minimal index — exactly
+		// the scan's answer.
+		b0, i0 := times[0], 0
+		if times[1] < b0 {
+			b0, i0 = times[1], 1
+		}
+		b1, i1 := times[2], 2
+		if times[3] < b1 {
+			b1, i1 = times[3], 3
+		}
+		b2, i2 := times[4], 4
+		if times[5] < b2 {
+			b2, i2 = times[5], 5
+		}
+		b3, i3 := times[6], 6
+		if times[7] < b3 {
+			b3, i3 = times[7], 7
+		}
+		if b1 < b0 {
+			b0, i0 = b1, i1
+		}
+		if b3 < b2 {
+			b2, i2 = b3, i3
+		}
+		if b2 < b0 {
+			i0 = i2
+		}
+		best = i0
+	} else {
+		if len(times) == 0 {
+			return false
+		}
+		bt := times[0]
+		for i := 1; i < len(times); i++ {
+			if times[i] < bt {
+				best, bt = i, times[i]
+			}
 		}
 	}
 	*r = m.heads[best]

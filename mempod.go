@@ -147,6 +147,12 @@ func runStream(name string, s trace.Stream, o Options) (Result, error) {
 	defer mech.Release(m)
 	engine := sim.New(backend, m)
 	engine.Window = o.Window
+	if ss, ok := s.(*trace.SnapshotStream); ok {
+		// Snapshot replays (RunTrace, -compare) take the engine's batched
+		// path; binding the snapshot's predecode plane for this layout lets
+		// the mechanism skip per-request address decomposition too.
+		ss.BindPlane(ss.Snapshot().Plane(&backend.Geom))
+	}
 	return engine.Run(name, s)
 }
 

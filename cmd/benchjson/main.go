@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -194,33 +195,48 @@ type Delta struct {
 
 // Diff compares ns/op for every benchmark present in both reports.
 // A benchmark regressed when its ns/op grew by strictly more than
-// thresholdPct percent. Deltas keep newRep's benchmark order; onlyOld and
-// onlyNew list benchmarks without a counterpart (never a failure).
+// thresholdPct percent; a zero-ns/op baseline against a nonzero new value
+// is always a regression (Pct +Inf) — a comparison with no defined
+// relative change must not pass silently. Deltas keep newRep's benchmark
+// order; onlyOld and onlyNew list benchmarks without a comparable
+// counterpart — missing on the other side, or missing the ns/op metric
+// entirely — and never fail the diff.
 func Diff(oldRep, newRep *Report, thresholdPct float64) (deltas []Delta, onlyOld, onlyNew []string) {
 	oldNs := make(map[benchKey]float64, len(oldRep.Benchmarks))
 	seen := make(map[benchKey]bool, len(oldRep.Benchmarks))
 	for _, b := range oldRep.Benchmarks {
 		k := benchKey{b.Pkg, b.Name, b.Procs}
-		oldNs[k] = b.Metrics["ns/op"]
+		ns, ok := b.Metrics["ns/op"]
+		if !ok {
+			// No ns/op recorded (custom-metric-only entry): incomparable,
+			// report informationally below via the unpaired path.
+			continue
+		}
+		oldNs[k] = ns
 		seen[k] = false
 	}
 	for _, b := range newRep.Benchmarks {
 		k := benchKey{b.Pkg, b.Name, b.Procs}
+		ns, hasNs := b.Metrics["ns/op"]
 		old, ok := oldNs[k]
-		if !ok {
+		if !ok || !hasNs {
 			onlyNew = append(onlyNew, k.Name)
 			continue
 		}
 		seen[k] = true
-		d := Delta{Key: k, Old: old, New: b.Metrics["ns/op"]}
-		if old > 0 {
+		d := Delta{Key: k, Old: old, New: ns}
+		switch {
+		case old > 0:
 			d.Pct = (d.New - d.Old) / d.Old * 100
+		case d.New > 0:
+			d.Pct = math.Inf(1)
 		}
 		d.Regressed = d.Pct > thresholdPct
 		deltas = append(deltas, d)
 	}
 	for _, b := range oldRep.Benchmarks {
-		if k := (benchKey{b.Pkg, b.Name, b.Procs}); !seen[k] {
+		k := benchKey{b.Pkg, b.Name, b.Procs}
+		if paired, comparable := seen[k]; !comparable || !paired {
 			onlyOld = append(onlyOld, k.Name)
 		}
 	}

@@ -3,8 +3,10 @@ package main
 import (
 	"encoding/json"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
+	"slices"
 	"strings"
 	"testing"
 )
@@ -187,5 +189,95 @@ func TestRunDiffExitCodes(t *testing.T) {
 	}
 	if code := runDiff([]string{oldPath, slower, "-threshold", "bogus"}, io.Discard); code != 2 {
 		t.Errorf("bad threshold exit code %d, want 2", code)
+	}
+}
+
+// TestDiffEdgeCases pins down the comparisons that used to pass silently:
+// zero-ns/op baselines and entries missing the ns/op metric entirely.
+func TestDiffEdgeCases(t *testing.T) {
+	bench := func(name string, metrics map[string]float64) Benchmark {
+		return Benchmark{Pkg: "repro/internal/exp", Name: name, Procs: 8, Metrics: metrics}
+	}
+	cases := []struct {
+		name          string
+		oldB, newB    []Benchmark
+		wantDeltas    int
+		wantRegressed bool
+		wantInf       bool
+		wantOnlyOld   []string
+		wantOnlyNew   []string
+	}{
+		{
+			name:          "zero baseline nonzero new is a regression",
+			oldB:          []Benchmark{bench("BenchmarkX", map[string]float64{"ns/op": 0})},
+			newB:          []Benchmark{bench("BenchmarkX", map[string]float64{"ns/op": 5})},
+			wantDeltas:    1,
+			wantRegressed: true,
+			wantInf:       true,
+		},
+		{
+			name:       "zero baseline zero new is fine",
+			oldB:       []Benchmark{bench("BenchmarkX", map[string]float64{"ns/op": 0})},
+			newB:       []Benchmark{bench("BenchmarkX", map[string]float64{"ns/op": 0})},
+			wantDeltas: 1,
+		},
+		{
+			name:        "old entry without ns/op is incomparable, not a zero baseline",
+			oldB:        []Benchmark{bench("BenchmarkX", map[string]float64{"cells/s": 900})},
+			newB:        []Benchmark{bench("BenchmarkX", map[string]float64{"ns/op": 5})},
+			wantOnlyOld: []string{"BenchmarkX"},
+			wantOnlyNew: []string{"BenchmarkX"},
+		},
+		{
+			name:        "new entry without ns/op is incomparable, not an improvement",
+			oldB:        []Benchmark{bench("BenchmarkX", map[string]float64{"ns/op": 100})},
+			newB:        []Benchmark{bench("BenchmarkX", map[string]float64{"cells/s": 900})},
+			wantOnlyOld: []string{"BenchmarkX"},
+			wantOnlyNew: []string{"BenchmarkX"},
+		},
+		{
+			name:        "missing benchmark stays informational",
+			oldB:        []Benchmark{bench("BenchmarkGone", map[string]float64{"ns/op": 100})},
+			newB:        []Benchmark{bench("BenchmarkNew", map[string]float64{"ns/op": 100})},
+			wantOnlyOld: []string{"BenchmarkGone"},
+			wantOnlyNew: []string{"BenchmarkNew"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			deltas, onlyOld, onlyNew := Diff(&Report{Benchmarks: tc.oldB}, &Report{Benchmarks: tc.newB}, 10)
+			if len(deltas) != tc.wantDeltas {
+				t.Fatalf("deltas = %+v, want %d", deltas, tc.wantDeltas)
+			}
+			if tc.wantDeltas == 1 {
+				if deltas[0].Regressed != tc.wantRegressed {
+					t.Errorf("Regressed = %v, want %v (%+v)", deltas[0].Regressed, tc.wantRegressed, deltas[0])
+				}
+				if tc.wantInf && !math.IsInf(deltas[0].Pct, 1) {
+					t.Errorf("Pct = %v, want +Inf", deltas[0].Pct)
+				}
+			}
+			if !slices.Equal(onlyOld, tc.wantOnlyOld) {
+				t.Errorf("onlyOld = %v, want %v", onlyOld, tc.wantOnlyOld)
+			}
+			if !slices.Equal(onlyNew, tc.wantOnlyNew) {
+				t.Errorf("onlyNew = %v, want %v", onlyNew, tc.wantOnlyNew)
+			}
+		})
+	}
+}
+
+// TestRunDiffZeroBaselineExitCode checks the +Inf regression reaches the
+// CLI exit code, whatever the threshold.
+func TestRunDiffZeroBaselineExitCode(t *testing.T) {
+	dir := t.TempDir()
+	zero := writeReport(t, dir, "zero.json", report(map[string]float64{"BenchmarkMatrix/j=1": 0}))
+	some := writeReport(t, dir, "some.json", report(map[string]float64{"BenchmarkMatrix/j=1": 5}))
+	var out strings.Builder
+	if code := runDiff([]string{zero, some, "-threshold", "1000"}, &out); code != 1 {
+		t.Errorf("zero-baseline regression exit code %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Errorf("zero-baseline regression not marked FAIL:\n%s", out.String())
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro"
@@ -47,6 +48,7 @@ func main() {
 		traceIn  = flag.String("trace-in", "", "replay a recorded trace snapshot (overrides -workload/-requests/-seed)")
 		traceOut = flag.String("trace-out", "", "record the generated trace to this snapshot file")
 		parallel = flag.Int("j", 0, "-compare: max concurrent simulations (0 = GOMAXPROCS)")
+		podsPar  = flag.String("pods-parallel", "auto", "intra-run pod-parallel mode: auto, off, or a worker count >= 2 (bit-identical results)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -76,8 +78,14 @@ func main() {
 		os.Exit(1)
 	}
 
+	podShards, err := parsePodsParallel(*podsPar)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mempodsim:", err)
+		os.Exit(1)
+	}
+
 	if *compare {
-		if err := runCompare(tr, *requests, *seed, *future, *parallel); err != nil {
+		if err := runCompare(tr, *requests, *seed, *future, *parallel, podShards); err != nil {
 			fmt.Fprintln(os.Stderr, "mempodsim:", err)
 			os.Exit(1)
 		}
@@ -95,7 +103,8 @@ func main() {
 			CounterBits: *bits,
 			CacheBytes:  *cache,
 		},
-		HMA: mempod.HMAOptions{CacheBytes: *cache},
+		HMA:       mempod.HMAOptions{CacheBytes: *cache},
+		PodShards: podShards,
 	}
 	var res mempod.Result
 	if tr != nil {
@@ -194,14 +203,37 @@ func resolveTrace(traceIn, traceOut string, compare bool, wl, customPath string,
 	return tr, nil
 }
 
+// parsePodsParallel maps the -pods-parallel flag onto Options.PodShards:
+// "auto" resolves to 0 (let each layer pick), "off" to -1 (force serial),
+// and an integer >= 2 forces that worker count.
+func parsePodsParallel(v string) (int, error) {
+	switch v {
+	case "auto", "":
+		return 0, nil
+	case "off":
+		return -1, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 2 {
+		return 0, fmt.Errorf("-pods-parallel must be auto, off, or a worker count >= 2 (got %q)", v)
+	}
+	return n, nil
+}
+
 // runCompare tabulates every mechanism on one recorded trace, replaying
 // the shared packed snapshot concurrently (each run still builds its own
-// simulator state; only the immutable snapshot is shared).
-func runCompare(tr *mempod.Trace, requests int, seed int64, future bool, parallelism int) error {
+// simulator state; only the immutable snapshot is shared). In auto mode,
+// CPUs left over by the mechanism pool go to each run's pod-parallel
+// engine, so -j 1 on a big machine still uses the whole machine.
+func runCompare(tr *mempod.Trace, requests int, seed int64, future bool, parallelism, podShards int) error {
+	if podShards == 0 {
+		podShards = runner.PerTaskParallelism(parallelism, len(compareOrder))
+	}
 	tasks := make([]runner.Task[mempod.Result], len(compareOrder))
 	for i, m := range compareOrder {
 		m := m
-		o := mempod.Options{Mechanism: m, Requests: requests, Seed: seed, FutureMemories: future}
+		o := mempod.Options{Mechanism: m, Requests: requests, Seed: seed,
+			FutureMemories: future, PodShards: podShards}
 		if m == mempod.MechHMA {
 			// Scale HMA to the trace length (see EXPERIMENTS.md).
 			o.HMA = mempod.HMAOptions{

@@ -129,6 +129,13 @@ type pod struct {
 	swapVictim   uint32 // fast frame being filled
 	swapOld      uint32 // slow frame being vacated
 	swapResident uint32 // local page being evicted
+
+	// stats holds this pod's share of the migration counters. Keeping
+	// them per pod (summed in Stats) is what lets the engine's
+	// pod-parallel path run AccessSharded for different pods concurrently
+	// without a shared counter write; the sums are order-independent, so
+	// the merged totals are bit-identical to serial accumulation.
+	stats mech.MigStats
 }
 
 // MemPod is the full mechanism. It implements mech.Mechanism.
@@ -140,7 +147,9 @@ type MemPod struct {
 	pods    []pod
 	touch   mech.TouchFilter
 	next    clock.Time // next interval boundary
-	stats   mech.MigStats
+	// stats holds only the cross-pod counters (Intervals); everything
+	// counted on the access path lives in the pods (pod.stats).
+	stats mech.MigStats
 }
 
 // New builds a MemPod over the backend's two-level memory.
@@ -201,8 +210,16 @@ func (m *MemPod) Name() string {
 	return "MemPod"
 }
 
-// Stats implements mech.Mechanism.
-func (m *MemPod) Stats() mech.MigStats { return m.stats }
+// Stats implements mech.Mechanism: the cross-pod counters plus every
+// pod's share, merged in pod order (the sums commute, so the result is
+// identical however the per-access counters were produced).
+func (m *MemPod) Stats() mech.MigStats {
+	s := m.stats
+	for i := range m.pods {
+		s.Merge(m.pods[i].stats)
+	}
+	return s
+}
 
 // Config returns the mechanism's configuration.
 func (m *MemPod) Config() Config { return m.cfg }
@@ -244,9 +261,41 @@ func (m *MemPod) access(r *trace.Request, page uint64, podID int, local uint32, 
 		m.runInterval(m.next)
 		m.next += m.cfg.Interval
 	}
+	return m.accessPod(&m.pods[podID], r, podID, local, li, at, d, m.touch.Touch(r.Core, page))
+}
 
-	p := &m.pods[podID]
+// Pods implements mech.PodSharded.
+func (m *MemPod) Pods() int { return len(m.pods) }
 
+// NextBoundary implements mech.PodSharded.
+func (m *MemPod) NextBoundary() clock.Time { return m.next }
+
+// AdvanceBoundary implements mech.PodSharded: the same loop the serial
+// access path runs inline, hoisted to the engine's barrier.
+func (m *MemPod) AdvanceBoundary(t clock.Time) {
+	for t >= m.next {
+		m.runInterval(m.next)
+		m.next += m.cfg.Interval
+	}
+}
+
+// SharedTouch implements mech.TouchSharer.
+func (m *MemPod) SharedTouch() *mech.TouchFilter { return &m.touch }
+
+// AccessSharded implements mech.PodSharded: the access path with the two
+// cross-pod pieces — interval advancement and the touch filter — already
+// handled by the caller. Everything it reads or writes below belongs to
+// d's pod (tables, locks, cache, queue, per-pod stats) or is immutable
+// (geometry, config), and the backend routes the pod's demand,
+// bookkeeping and swap traffic onto the pod's own channels, so concurrent
+// calls for different pods share nothing mutable.
+func (m *MemPod) AccessSharded(r *trace.Request, d *trace.Decoded, at clock.Time, touched bool) clock.Time {
+	return m.accessPod(&m.pods[d.Pod], r, int(d.Pod), d.Frame, int(d.Line), at, d, touched)
+}
+
+// accessPod is the pod-local tail of the access path, shared by the
+// serial and pod-parallel entry points.
+func (m *MemPod) accessPod(p *pod, r *trace.Request, podID int, local uint32, li int, at clock.Time, d *trace.Decoded, touched bool) clock.Time {
 	// Execute any queued swaps whose paced start time has arrived, so
 	// channel traffic stays in time order. The guard is inlined here:
 	// most accesses find nothing due, and the call is not free.
@@ -254,7 +303,7 @@ func (m *MemPod) access(r *trace.Request, page uint64, podID int, local uint32, 
 		m.drainPod(p, at)
 	}
 
-	if m.touch.Touch(r.Core, page) {
+	if touched {
 		// Direct dispatch for the common concrete tracker; the interface
 		// call is only paid by the Full Counters ablation.
 		if p.mea != nil {
@@ -268,9 +317,9 @@ func (m *MemPod) access(r *trace.Request, page uint64, podID int, local uint32, 
 	if p.cache != nil {
 		block := uint64(local) / entriesPerBlock
 		if p.cache.Access(block) {
-			m.stats.CacheHits++
+			p.stats.CacheHits++
 		} else {
-			m.stats.CacheMisses++
+			p.stats.CacheMisses++
 			start = m.backend.BookkeepingRead(podID, block, start)
 		}
 	}
@@ -281,7 +330,7 @@ func (m *MemPod) access(r *trace.Request, page uint64, podID int, local uint32, 
 		// now (channel traffic must stay in time order); the lock
 		// wait is added to the completion.
 		lockEnd = end
-		m.stats.LockStalls++
+		p.stats.LockStalls++
 	}
 
 	f := addr.Frame(p.remap.A[local])
@@ -328,9 +377,9 @@ func (m *MemPod) executeSwap(p *pod, sw schedSwap) {
 			for _, lp := range [2]uint32{sw.local, p.swapResident} {
 				block := uint64(lp) / entriesPerBlock
 				if p.cache.Access(block) {
-					m.stats.CacheHits++
+					p.stats.CacheHits++
 				} else {
-					m.stats.CacheMisses++
+					p.stats.CacheMisses++
 					t := m.backend.BookkeepingRead(p.id, block, sw.start)
 					if t > p.lastSwapEnd {
 						p.lastSwapEnd = t
@@ -343,7 +392,7 @@ func (m *MemPod) executeSwap(p *pod, sw schedSwap) {
 		p.inverted.Set(p.swapVictim, sw.local)
 		// The victim frame now holds a page from the epoch's hot set.
 		p.hotFast.Add(p.swapVictim)
-		m.stats.PageMigrations++
+		p.stats.PageMigrations++
 	}
 	if p.swapSkip {
 		return
@@ -356,8 +405,8 @@ func (m *MemPod) executeSwap(p *pod, sw schedSwap) {
 	lo := int(sw.chunk) * linesPerChunk
 	end := m.backend.SwapPagesChunk(p.id, addr.Frame(p.swapOld), addr.Frame(p.swapVictim),
 		lo, lo+linesPerChunk, sw.start)
-	m.stats.LineMigrations += 2 * linesPerChunk
-	m.stats.BytesMoved += 2 * linesPerChunk * addr.LineBytes
+	p.stats.LineMigrations += 2 * linesPerChunk
+	p.stats.BytesMoved += 2 * linesPerChunk * addr.LineBytes
 	if end > p.lastSwapEnd {
 		p.lastSwapEnd = end
 	}
@@ -389,7 +438,7 @@ func (m *MemPod) runInterval(boundary clock.Time) {
 			if !flushing && sw.chunk == 0 {
 				// Peek: never-started swap -> drop all its chunks.
 				p.qpos += swapChunks
-				m.stats.DroppedMigrations++
+				p.stats.DroppedMigrations++
 				continue
 			}
 			if sw.start < boundary {
@@ -443,7 +492,7 @@ func (m *MemPod) runInterval(boundary clock.Time) {
 		}
 		maxSwaps := int(avail / minSwapTime)
 		if len(cand) > maxSwaps {
-			m.stats.DroppedMigrations += uint64(len(cand) - maxSwaps)
+			p.stats.DroppedMigrations += uint64(len(cand) - maxSwaps)
 			cand = cand[:maxSwaps]
 		}
 		p.cand = cand

@@ -26,6 +26,24 @@ func (s Stats) RowHitRate() float64 {
 // Accesses returns the total number of serviced requests.
 func (s Stats) Accesses() uint64 { return s.Reads + s.Writes }
 
+// Merge folds another channel's counters into s: sums everywhere except
+// LastFinish, which keeps the later of the two completion times. Merging
+// per-channel snapshots in any order yields the same aggregate, which is
+// what lets pod-disjoint channel sets be simulated concurrently and
+// tallied afterwards.
+func (s *Stats) Merge(o Stats) {
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	s.RowHits += o.RowHits
+	s.RowClosed += o.RowClosed
+	s.RowConflicts += o.RowConflicts
+	s.BusBusy += o.BusBusy
+	if o.LastFinish > s.LastFinish {
+		s.LastFinish = o.LastFinish
+	}
+	s.Refreshes += o.Refreshes
+}
+
 type bank struct {
 	openRow     int64 // row index currently latched, -1 if precharged
 	nextCmd     clock.Time
@@ -34,8 +52,11 @@ type bank struct {
 
 // Channel models one DRAM channel: a set of banks sharing a data bus.
 // Requests are serviced in arrival order with an open-page policy; queueing
-// emerges from per-bank and bus next-available times. Channel is not safe
-// for concurrent use; the engine drives each simulation single-threaded.
+// emerges from per-bank and bus next-available times. A Channel is not
+// safe for concurrent use, but carries no cross-channel state — refresh
+// catch-up is arithmetic on the channel's own clock (see Access), not a
+// global tick — so disjoint channel sets may be driven from different
+// goroutines concurrently (the pod-parallel engine path relies on this).
 type Channel struct {
 	spec  Spec
 	banks []bank

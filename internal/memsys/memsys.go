@@ -21,7 +21,10 @@ import (
 // channels [0, FastChannels) use the fast spec, the rest the slow spec.
 // Channels are stored by value in one dense slice, so the per-request path
 // indexes straight into channel state with no per-channel pointer chase.
-// Not safe for concurrent use.
+// Not safe for general concurrent use; however channels share no state
+// with each other, so callers that partition the channel ID space —
+// MemPod's pods own disjoint channel sets — may access disjoint channels
+// from different goroutines concurrently.
 type System struct {
 	layout   addr.Layout
 	fast     dram.Spec
@@ -96,17 +99,7 @@ func (s *System) aggregate(lo, hi int) LevelStats {
 	var out LevelStats
 	out.Channels = hi - lo
 	for i := lo; i < hi; i++ {
-		cs := s.channels[i].Stats()
-		out.Reads += cs.Reads
-		out.Writes += cs.Writes
-		out.RowHits += cs.RowHits
-		out.RowClosed += cs.RowClosed
-		out.RowConflicts += cs.RowConflicts
-		out.BusBusy += cs.BusBusy
-		out.Refreshes += cs.Refreshes
-		if cs.LastFinish > out.LastFinish {
-			out.LastFinish = cs.LastFinish
-		}
+		out.Stats.Merge(s.channels[i].Stats())
 	}
 	return out
 }

@@ -33,6 +33,13 @@ type Engine struct {
 	// Window caps outstanding requests; 0 means DefaultWindow, negative
 	// means unlimited.
 	Window int
+	// Shards selects the pod-parallel path for mechanisms that support it
+	// (mech.PodSharded) on streams with a predecode plane: 0 is auto
+	// (GOMAXPROCS workers, capped at the mechanism's pod count, off when
+	// that leaves fewer than two), 1 or negative forces serial, and >= 2
+	// forces that worker count (still capped at the pod count). Results
+	// are bit-identical for every value; see parallel.go.
+	Shards int
 
 	// ring is the outstanding-request window, kept across runs so repeated
 	// Run calls on one engine (benchmarks, sweeps) stay allocation-free.
@@ -42,6 +49,11 @@ type Engine struct {
 	// costing two heap allocations per Run.
 	batchBuf []trace.Request
 	decBuf   []trace.Decoded
+	// pp holds the pod-parallel path's block buffers, reused across runs.
+	pp *podParallel
+	// parallelBlocks counts request blocks processed by the pod-parallel
+	// path, for tests and diagnostics.
+	parallelBlocks uint64
 }
 
 // New returns an engine for the mechanism built over the backend.
@@ -56,8 +68,10 @@ func New(b *mech.Backend, m mech.Mechanism) *Engine {
 // driven through a batched loop that fuses window gating, order checking
 // and stall accounting over BatchSize-request chunks; when the stream also
 // carries a predecode plane and the mechanism implements
-// mech.DecodedAccessor, requests dispatch through AccessDecoded. Both
-// paths are bit-identical to the per-request fallback.
+// mech.DecodedAccessor, requests dispatch through AccessDecoded. When the
+// mechanism is additionally pod-sharded (mech.PodSharded) and Shards
+// selects more than one worker, the run takes the pod-parallel path
+// (parallel.go). All paths are bit-identical to the per-request fallback.
 func (e *Engine) Run(workload string, s trace.Stream) (stats.Result, error) {
 	window := e.Window
 	if window == 0 {
@@ -79,7 +93,11 @@ func (e *Engine) Run(workload string, s trace.Stream) (stats.Result, error) {
 	res := stats.Result{Workload: workload, Mechanism: e.m.Name()}
 	var err error
 	if bs, ok := s.(trace.BatchStream); ok {
-		err = e.runBatched(bs, ring, window, &res)
+		if ps, workers := e.shardPlan(bs); workers > 1 {
+			err = e.runPodParallel(bs, ps, workers, ring, window, &res)
+		} else {
+			err = e.runBatched(bs, ring, window, &res)
+		}
 	} else {
 		err = e.runSerial(s, ring, window, &res)
 	}

@@ -1,0 +1,298 @@
+// Pod-parallel replay: the engine-side exploitation of the paper's core
+// architectural property. MemPod's pods are independent between migration
+// intervals — migration traffic never leaves a pod, each pod owns its
+// channels, tables and locks, and only the epoch rollover walks all pods
+// (§5). The serial engine interleaves every pod's requests on one
+// goroutine; this path simulates the pods on separate workers between
+// boundaries and joins at a deterministic barrier where the interval work
+// runs in fixed pod order, producing bit-identical results.
+//
+// # Why blocks of exactly one window
+//
+// The only state coupling requests of *different* pods is the engine's
+// outstanding-request window: request i cannot issue before request i-W
+// completed (W = Window). Processing requests in blocks of exactly W
+// dissolves that coupling into a wavefront: every gate of block b is a
+// completion time of block b-1, so a serial prepass over the block can
+// compute each request's exact issue time `at` before any of the block is
+// simulated. With issue times fixed, interval-boundary crossings
+// (at >= NextBoundary) are known exactly too, and requests between two
+// crossings partition cleanly by home pod.
+//
+// # The barrier discipline per block
+//
+//  1. Prepass (serial): order check, issue times from the window ring,
+//     and the shared per-core touch filter — the one per-access state
+//     that crosses pods — consulted in global request order.
+//  2. Split the block into segments at the boundary crossings; before
+//     each segment, run AdvanceBoundary (migrations, MEA epoch rollover,
+//     lock sweeps, refresh-independent queue scheduling) serially, in
+//     fixed pod order — exactly the code the serial path runs inline.
+//  3. Fan each segment out to the workers; worker w simulates the
+//     requests of pods with Pod % workers == w, in request order, writing
+//     completions into the ring at the request's own slot. Pods share no
+//     mutable state (mech.PodSharded's contract), pod-disjoint channel
+//     sets make the DRAM model safe (each dram.Channel reconciles its own
+//     refresh arithmetic lazily, so idle shards need no clock sync), and
+//     per-worker stats.Accum tallies merge in fixed order afterwards.
+//  4. Barrier (WaitGroup park, not spin — the forced-shards tests run on
+//     a single P under -race), then the next segment or block.
+//
+// Error paths: a trace-order violation truncates the block at the
+// offending request before dispatch, matching the serial path exactly. A
+// mechanism contract violation (completion <= issue) aborts after the
+// segment's barrier; requests of *other* pods past the offending one may
+// already be simulated, so partial Results can differ from serial there —
+// the run still fails with the same error.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/clock"
+	"repro/internal/mech"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// unlimitedBlock is the block length when the window is unbounded: with no
+// gates there is no wavefront constraint, only batching economics.
+const unlimitedBlock = 4 * BatchSize
+
+// segment is one dispatch unit: block request indices [lo, hi), all below
+// the current interval boundary.
+type segment struct{ lo, hi int }
+
+// podWorker is one worker's channel and result slots. The padding keeps
+// workers' hot accumulators on separate cache lines.
+type podWorker struct {
+	jobs   chan segment
+	acc    stats.Accum
+	err    error // first contract violation seen by this worker
+	errIdx int   // block index of that violation
+	_      [64]byte
+}
+
+// podParallel holds the pod-parallel path's reusable block buffers and
+// per-block dispatch state. The dispatch fields (cur*, ringBase) are
+// written by the coordinator before the segment send and read by workers
+// after the receive; the channel pair orders them.
+type podParallel struct {
+	reqs  []trace.Request
+	dec   []trace.Decoded
+	at    []clock.Time
+	touch []bool
+
+	curReqs  []trace.Request
+	curDec   []trace.Decoded
+	ringBase int
+	workers  []podWorker
+	wg       sync.WaitGroup
+}
+
+// grow sizes the block buffers for blockLen-request blocks.
+func (pp *podParallel) grow(blockLen int) {
+	if cap(pp.reqs) < blockLen {
+		pp.reqs = make([]trace.Request, blockLen)
+		pp.dec = make([]trace.Decoded, blockLen)
+		pp.at = make([]clock.Time, blockLen)
+		pp.touch = make([]bool, blockLen)
+	}
+	pp.reqs = pp.reqs[:blockLen]
+	pp.dec = pp.dec[:blockLen]
+	pp.at = pp.at[:blockLen]
+	pp.touch = pp.touch[:blockLen]
+}
+
+// shardPlan decides whether this run takes the pod-parallel path and with
+// how many workers. It requires a pod-sharded mechanism and a predecode
+// plane (the shard key is the decoded home pod); the worker count follows
+// e.Shards and is always capped at the pod count.
+func (e *Engine) shardPlan(bs trace.BatchStream) (mech.PodSharded, int) {
+	ps, ok := e.m.(mech.PodSharded)
+	if !ok || !bs.HasPlane() {
+		return nil, 0
+	}
+	workers := e.Shards
+	switch {
+	case workers < 0:
+		return nil, 0
+	case workers == 0:
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if p := ps.Pods(); workers > p {
+		workers = p
+	}
+	if workers < 2 {
+		return nil, 0
+	}
+	return ps, workers
+}
+
+// ParallelBlocks reports how many request blocks the engine has processed
+// on the pod-parallel path, across all runs. Zero after a run means the
+// run fell back to a serial path.
+func (e *Engine) ParallelBlocks() uint64 { return e.parallelBlocks }
+
+// runPodParallel replays a planed batch stream with one worker per pod
+// shard, joining at interval boundaries. See the package comment above
+// for the scheme; bit-identity with runBatched is asserted per mechanism
+// by TestPodParallelBitIdentical.
+func (e *Engine) runPodParallel(bs trace.BatchStream, ps mech.PodSharded, workers int, ring []clock.Time, window int, res *stats.Result) error {
+	blockLen := window
+	if blockLen <= 0 {
+		blockLen = unlimitedBlock
+	}
+	if e.pp == nil {
+		e.pp = &podParallel{}
+	}
+	pp := e.pp
+	pp.grow(blockLen)
+	sbs, shared := bs.(trace.SharedBatchStream)
+	tf := ps.SharedTouch()
+
+	pp.workers = make([]podWorker, workers)
+	for w := range pp.workers {
+		pp.workers[w].jobs = make(chan segment, 1)
+		go func(w int) {
+			pw := &pp.workers[w]
+			for sg := range pw.jobs {
+				reqs, dec := pp.curReqs, pp.curDec
+				at, touch := pp.at, pp.touch
+				for i := sg.lo; i < sg.hi; i++ {
+					if int(dec[i].Pod)%workers != w {
+						continue
+					}
+					issue := at[i]
+					done := ps.AccessSharded(&reqs[i], &dec[i], issue, touch[i])
+					if done <= issue {
+						if pw.err == nil {
+							pw.err = fmt.Errorf("sim: mechanism %s returned completion %v <= issue %v",
+								ps.Name(), done, issue)
+							pw.errIdx = i
+						}
+						break
+					}
+					if ring != nil {
+						slot := pp.ringBase + i
+						if slot >= window {
+							slot -= window
+						}
+						ring[slot] = done
+					}
+					pw.acc.Note(reqs[i].Time, done)
+				}
+				pp.wg.Done()
+			}
+		}(w)
+	}
+	defer func() {
+		for w := range pp.workers {
+			close(pp.workers[w].jobs)
+		}
+	}()
+
+	// finish merges the workers' tallies, in fixed worker order, into res.
+	finish := func() {
+		var acc stats.Accum
+		for w := range pp.workers {
+			acc.Merge(pp.workers[w].acc)
+		}
+		acc.FlushTo(res)
+	}
+
+	var lastArrival clock.Time
+	var processed uint64
+	ringPos := 0
+	for {
+		var n int
+		var dec []trace.Decoded
+		if shared {
+			n, dec = sbs.NextBatchShared(pp.reqs[:blockLen])
+		} else {
+			n = bs.NextBatch(pp.reqs[:blockLen], pp.dec[:blockLen])
+			dec = pp.dec[:n]
+		}
+		if n == 0 {
+			break
+		}
+		reqs := pp.reqs[:n]
+
+		// Serial prepass: order check, window gates, touch bits. A
+		// misordered request truncates the block before it, exactly where
+		// the serial path would stop.
+		var orderErr error
+		at := pp.at
+		for i := 0; i < n; i++ {
+			t := reqs[i].Time
+			if t < lastArrival {
+				orderErr = fmt.Errorf("sim: trace out of order at request %d (%v < %v)",
+					processed+uint64(i), t, lastArrival)
+				n = i
+				break
+			}
+			lastArrival = t
+			if ring != nil {
+				slot := ringPos + i
+				if slot >= window {
+					slot -= window
+				}
+				if gate := ring[slot]; gate > t {
+					t = gate
+				}
+			}
+			at[i] = t
+			pp.touch[i] = tf.Touch(reqs[i].Core, dec[i].Page)
+		}
+
+		pp.curReqs, pp.curDec, pp.ringBase = reqs[:n], dec[:n], ringPos
+		for lo := 0; lo < n; {
+			// The barrier's serial half: every boundary at or before the
+			// segment head runs now, in fixed pod order — the same loop
+			// the serial access path executes inline.
+			if at[lo] >= ps.NextBoundary() {
+				ps.AdvanceBoundary(at[lo])
+			}
+			nb := ps.NextBoundary()
+			hi := lo + 1
+			for hi < n && at[hi] < nb {
+				hi++
+			}
+			pp.wg.Add(workers)
+			for w := range pp.workers {
+				pp.workers[w].jobs <- segment{lo, hi}
+			}
+			pp.wg.Wait()
+			for w := range pp.workers {
+				if pp.workers[w].err != nil {
+					// Deterministic error selection: the earliest failing
+					// request, however the workers interleaved.
+					err, idx := pp.workers[w].err, pp.workers[w].errIdx
+					for _, pw := range pp.workers[w+1:] {
+						if pw.err != nil && pw.errIdx < idx {
+							err, idx = pw.err, pw.errIdx
+						}
+					}
+					finish()
+					return err
+				}
+			}
+			lo = hi
+		}
+		e.parallelBlocks++
+		processed += uint64(n)
+		if ring != nil {
+			if ringPos += n; ringPos >= window {
+				ringPos -= window
+			}
+		}
+		if orderErr != nil {
+			finish()
+			return orderErr
+		}
+	}
+	finish()
+	return nil
+}

@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mech"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// podParallelCases are the mechanisms that actually take the pod-parallel
+// path (mech.PodSharded). The cache variant exercises the bookkeeping
+// cache + BookkeepingRead branch, which the paper-default config leaves
+// off.
+var podParallelCases = []struct {
+	name  string
+	build func(b *mech.Backend) mech.Mechanism
+}{
+	{"MemPod", func(b *mech.Backend) mech.Mechanism { return core.MustNew(core.DefaultConfig(), b) }},
+	{"MemPod-FC", func(b *mech.Backend) mech.Mechanism {
+		cfg := core.DefaultConfig()
+		cfg.UseFullCounters = true
+		return core.MustNew(cfg, b)
+	}},
+	{"MemPod-cache", func(b *mech.Backend) mech.Mechanism {
+		cfg := core.DefaultConfig()
+		cfg.CacheBytes = 1 << 16
+		return core.MustNew(cfg, b)
+	}},
+}
+
+// TestPodParallelBitIdentical is the tentpole's differential guarantee:
+// for every mechanism, replaying one trace through the serial batched
+// path and through the pod-parallel path (workers forced on, whatever
+// GOMAXPROCS is) must produce field-identical Results — and leave the
+// mechanisms' shared touch filters in identical states. Mechanisms that
+// are not pod-sharded (HMA, THM, CAMEO, Static: their swaps cross pods
+// mid-interval) must fall back to the serial path, which the
+// ParallelBlocks counter asserts. CI runs this under -race, which is the
+// other half of the proof: any cross-pod state AccessSharded touches
+// concurrently is a detected race, not a silent divergence.
+func TestPodParallelBitIdentical(t *testing.T) {
+	const n = 60_000
+	w, err := workload.Mix(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := trace.Collect(w.MustStream(n, 11))
+	snap := trace.Record(trace.NewSliceStream(reqs), len(reqs))
+	defer snap.Release()
+
+	// run replays the snapshot through a fresh backend+mechanism with the
+	// given window and shard setting, returning the result, the engine's
+	// parallel-block count and the mechanism's final touch-filter state.
+	run := func(t *testing.T, build func(b *mech.Backend) mech.Mechanism, window, shards int) (stats.Result, uint64, *mech.TouchFilter) {
+		t.Helper()
+		b := newBackend()
+		m := build(b)
+		e := New(b, m)
+		e.Window = window
+		e.Shards = shards
+		res, err := e.Run(w.Name, snap.DecodedStream(&b.Geom))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tf *mech.TouchFilter
+		if ts, ok := m.(mech.TouchSharer); ok {
+			tf = ts.SharedTouch()
+		}
+		return res, e.ParallelBlocks(), tf
+	}
+
+	// Every mechanism at the default window, shards forced to the pod
+	// count: sharded mechanisms must parallelize, the rest must fall back
+	// — and all must match the serial result exactly.
+	for _, mc := range mechanisms {
+		mc := mc
+		t.Run(mc.name, func(t *testing.T) {
+			serial, blocks, serialTouch := run(t, mc.build, 0, 1)
+			if serial.Requests != n {
+				t.Fatalf("serial replayed %d requests, want %d", serial.Requests, n)
+			}
+			if blocks != 0 {
+				t.Fatalf("Shards=1 run took the parallel path (%d blocks)", blocks)
+			}
+			par, blocks, parTouch := run(t, mc.build, 0, 4)
+			_, sharded := mc.build(newBackend()).(mech.PodSharded)
+			if sharded && blocks == 0 {
+				t.Errorf("pod-sharded mechanism never took the parallel path")
+			}
+			if !sharded && blocks != 0 {
+				t.Errorf("non-sharded mechanism took the parallel path (%d blocks)", blocks)
+			}
+			diffResults(t, "parallel vs serial", par, serial)
+			if serialTouch != nil && parTouch != nil && *serialTouch != *parTouch {
+				t.Errorf("touch filter state diverged between serial and parallel runs")
+			}
+		})
+	}
+
+	// The sharded mechanisms across window shapes and worker counts:
+	// window 32 makes blocks small (many wavefronts, boundary crossings
+	// land mid-block), -1 removes gating entirely (unlimited-block path),
+	// and 3 workers assigns pods unevenly (pod 3 shares worker 0).
+	for _, mc := range podParallelCases {
+		mc := mc
+		for _, window := range []int{0, 32, -1} {
+			for _, shards := range []int{2, 3, 4} {
+				t.Run(fmt.Sprintf("%s/window=%d/shards=%d", mc.name, window, shards), func(t *testing.T) {
+					serial, _, serialTouch := run(t, mc.build, window, 1)
+					par, blocks, parTouch := run(t, mc.build, window, shards)
+					if blocks == 0 {
+						t.Fatalf("run never took the parallel path")
+					}
+					diffResults(t, "parallel vs serial", par, serial)
+					if *serialTouch != *parTouch {
+						t.Errorf("touch filter state diverged between serial and parallel runs")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestPodParallelRejectsUnorderedTrace mirrors the serial engine's
+// order-violation contract on the parallel path: the run fails, and the
+// requests before the violation are still accounted (the block truncates
+// exactly at the offending request).
+func TestPodParallelRejectsUnorderedTrace(t *testing.T) {
+	w, err := workload.Mix(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := trace.Collect(w.MustStream(1000, 11))
+	// Corrupt one timestamp mid-stream so the violation lands inside a
+	// block, after several complete blocks.
+	reqs[700].Time = reqs[699].Time - 1
+	snap := trace.Record(trace.NewSliceStream(reqs), len(reqs))
+	defer snap.Release()
+
+	runWith := func(shards int) (stats.Result, error) {
+		b := newBackend()
+		e := New(b, core.MustNew(core.DefaultConfig(), b))
+		e.Shards = shards
+		return e.Run(w.Name, snap.DecodedStream(&b.Geom))
+	}
+	serialRes, serialErr := runWith(1)
+	parRes, parErr := runWith(4)
+	if serialErr == nil || parErr == nil {
+		t.Fatalf("unordered trace accepted (serial err %v, parallel err %v)", serialErr, parErr)
+	}
+	if serialErr.Error() != parErr.Error() {
+		t.Errorf("error diverged:\nserial:   %v\nparallel: %v", serialErr, parErr)
+	}
+	diffResults(t, "partial result parallel vs serial", parRes, serialRes)
+}
+
+// BenchmarkEnginePodParallel measures the pod-parallel path against the
+// serial batched path on one MemPod replay, so the intra-cell speedup is
+// a reported number. shards=0 is auto (tracks GOMAXPROCS); the forced
+// worker counts show the scaling shape on multicore machines — on a
+// single-P run the forced variants measure pure barrier overhead, which
+// is itself worth watching.
+func BenchmarkEnginePodParallel(b *testing.B) {
+	const n = 60_000
+	w, err := workload.Mix(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := trace.Collect(w.MustStream(n, 11))
+	snap := trace.Record(trace.NewSliceStream(reqs), len(reqs))
+	defer snap.Release()
+
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			bk := newBackend()
+			e := New(bk, core.MustNew(core.DefaultConfig(), bk))
+			e.Shards = shards
+			ss := snap.DecodedStream(&bk.Geom)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ss.Reset()
+				if _, err := e.Run(w.Name, ss); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "reqs/s")
+		})
+	}
+}

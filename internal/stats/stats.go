@@ -36,6 +36,43 @@ type Result struct {
 	Mig mech.MigStats
 }
 
+// Accum is one shard's share of the engine-side per-request tallies: the
+// request count, the stall sum and the completion-time high-water mark.
+// The pod-parallel engine gives each worker its own Accum and merges them
+// in fixed worker order at the end of the run; sums and maxima are
+// order-independent, so the merged totals are bit-identical to serial
+// accumulation whatever the interleaving was.
+type Accum struct {
+	Requests   uint64
+	TotalStall clock.Duration
+	Span       clock.Duration
+}
+
+// Note records one serviced request: its trace arrival and completion.
+func (a *Accum) Note(arrival clock.Time, done clock.Time) {
+	a.Requests++
+	a.TotalStall += done - arrival
+	if done > a.Span {
+		a.Span = done
+	}
+}
+
+// Merge folds another shard's tallies into a.
+func (a *Accum) Merge(b Accum) {
+	a.Requests += b.Requests
+	a.TotalStall += b.TotalStall
+	if b.Span > a.Span {
+		a.Span = b.Span
+	}
+}
+
+// FlushTo writes the accumulated tallies into a run result.
+func (a Accum) FlushTo(r *Result) {
+	r.Requests = a.Requests
+	r.TotalStall = a.TotalStall
+	r.Span = a.Span
+}
+
 // AMMAT returns the average main-memory access time in nanoseconds.
 func (r Result) AMMAT() float64 {
 	if r.Requests == 0 {

@@ -177,3 +177,93 @@ func TestAcquireContractViolations(t *testing.T) {
 	}
 	rel()
 }
+
+// TestCacheStressConcurrentClaimants hammers the cache with 100 goroutines
+// across a handful of keys, all released from a start barrier at once so
+// the single-flight path, the waiter path and the last-release eviction
+// all race. The assertions are the cache's two contracts: exactly one
+// generation per distinct key (Generated == unique keys, however the
+// claimants interleaved), and exact lifetimes (Live == 0 once every
+// declared use is released, residency never exceeding the distinct-key
+// count). CI runs this under -race, which checks the snapshot handoff
+// itself: every claimant replays its snapshot, so a buffer released back
+// to the recording pool while still in use is a detected race.
+func TestCacheStressConcurrentClaimants(t *testing.T) {
+	const (
+		keys         = 5
+		usersPerKey  = 20
+		totalUsers   = keys * usersPerKey
+		reqsPerTrace = 64
+	)
+	c := New()
+	var calls atomic.Int32
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	errs := make(chan error, totalUsers)
+	for k := 0; k < keys; k++ {
+		key := Key{Workload: "stress", Requests: reqsPerTrace, Seed: int64(k)}
+		want := genReqs(reqsPerTrace, int64(k))
+		for u := 0; u < usersPerKey; u++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				snap, release, err := c.Acquire(key, usersPerKey, snapGen(reqsPerTrace, key.Seed, &calls))
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer release()
+				// Replay the whole snapshot so -race sees any use of a
+				// buffer another goroutine's release recycled.
+				var r trace.Request
+				s, n := snap.Stream(), 0
+				for s.Next(&r) {
+					if r != want[n] {
+						errs <- errors.New("snapshot contents diverged under contention")
+						return
+					}
+					n++
+				}
+				if n != reqsPerTrace {
+					errs <- errors.New("short replay under contention")
+				}
+			}()
+		}
+	}
+	close(start)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	s := c.Stats()
+	if int(calls.Load()) != keys || s.Generated != keys {
+		t.Errorf("generated %d snapshots (stats say %d), want exactly %d (one per key)",
+			calls.Load(), s.Generated, keys)
+	}
+	if s.Hits != totalUsers-keys {
+		t.Errorf("hits = %d, want %d", s.Hits, totalUsers-keys)
+	}
+	if s.Live != 0 {
+		t.Errorf("%d snapshots still resident after every use released", s.Live)
+	}
+	if s.Peak > keys {
+		t.Errorf("peak residency %d exceeds the %d distinct keys", s.Peak, keys)
+	}
+
+	// The keys are gone, so a fresh batch over one of them regenerates:
+	// eviction must not leave tombstones that serve recycled buffers.
+	snap, release, err := c.Acquire(Key{Workload: "stress", Requests: reqsPerTrace, Seed: 0}, 1, snapGen(reqsPerTrace, 0, &calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Len() != reqsPerTrace {
+		t.Errorf("regenerated snapshot has %d requests, want %d", snap.Len(), reqsPerTrace)
+	}
+	release()
+	if got := c.Stats(); got.Generated != keys+1 || got.Live != 0 {
+		t.Errorf("after regeneration: %+v, want Generated %d, Live 0", got, keys+1)
+	}
+}

@@ -84,6 +84,12 @@ type Options struct {
 	// Window caps outstanding requests (default sim.DefaultWindow;
 	// negative = unlimited).
 	Window int
+	// PodShards selects the pod-parallel simulation path for mechanisms
+	// that support it (MemPod): 0 is auto (one worker per spare CPU, off
+	// below two), 1 or negative forces the serial path, >= 2 forces that
+	// worker count (capped at the pod count). Results are bit-identical
+	// for every value.
+	PodShards int
 
 	MemPod MemPodOptions
 	HMA    HMAOptions
@@ -147,6 +153,7 @@ func runStream(name string, s trace.Stream, o Options) (Result, error) {
 	defer mech.Release(m)
 	engine := sim.New(backend, m)
 	engine.Window = o.Window
+	engine.Shards = o.PodShards
 	if ss, ok := s.(*trace.SnapshotStream); ok {
 		// Snapshot replays (RunTrace, -compare) take the engine's batched
 		// path; binding the snapshot's predecode plane for this layout lets

@@ -16,6 +16,12 @@
 // regressed by more than -threshold percent (default 10). Benchmarks
 // present on only one side are reported informationally and never fail
 // the comparison — renames must not masquerade as regressions.
+//
+// With -hard name-regexp, only regressions whose benchmark name matches
+// the regexp fail the diff; the rest print as "warn" and keep exit code
+// 0. CI uses this to hard-gate the stable serial matrix cell while the
+// parallel variants — pure scheduler noise on a 1-CPU runner — stay
+// warn-only.
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -246,10 +253,24 @@ func Diff(oldRep, newRep *Report, thresholdPct float64) (deltas []Delta, onlyOld
 // runDiff implements the -diff CLI mode and returns the process exit code:
 // 0 when no benchmark regressed past the threshold, 1 otherwise, 2 on
 // usage or file errors. Arguments are the two report paths in old, new
-// order, with -threshold <pct> accepted anywhere among them.
+// order, with -threshold <pct> and -hard <name-regexp> accepted anywhere
+// among them. Without -hard, every regression fails the diff; with it,
+// only regressions whose name matches the regexp do — the rest are
+// reported as warnings so a gate can pin its one stable benchmark while
+// still surfacing movement elsewhere.
 func runDiff(args []string, w io.Writer) int {
 	threshold := 10.0
+	var hard *regexp.Regexp
 	var files []string
+	compileHard := func(expr string) bool {
+		re, err := regexp.Compile(expr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: bad -hard regexp %q: %v\n", expr, err)
+			return false
+		}
+		hard = re
+		return true
+	}
 	for i := 0; i < len(args); i++ {
 		a := args[i]
 		switch {
@@ -272,12 +293,25 @@ func runDiff(args []string, w io.Writer) int {
 				return 2
 			}
 			threshold = v
+		case a == "-hard" || a == "--hard":
+			i++
+			if i >= len(args) {
+				fmt.Fprintln(os.Stderr, "benchjson: -hard needs a name regexp")
+				return 2
+			}
+			if !compileHard(args[i]) {
+				return 2
+			}
+		case strings.HasPrefix(a, "-hard="):
+			if !compileHard(strings.TrimPrefix(a, "-hard=")) {
+				return 2
+			}
 		default:
 			files = append(files, a)
 		}
 	}
 	if len(files) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchjson -diff old.json new.json [-threshold pct]")
+		fmt.Fprintln(os.Stderr, "usage: benchjson -diff old.json new.json [-threshold pct] [-hard name-regexp]")
 		return 2
 	}
 	oldRep, err := loadReport(files[0])
@@ -295,8 +329,12 @@ func runDiff(args []string, w io.Writer) int {
 	for _, d := range deltas {
 		mark := "ok  "
 		if d.Regressed {
-			mark = "FAIL"
-			failed = true
+			if hard == nil || hard.MatchString(d.Key.Name) {
+				mark = "FAIL"
+				failed = true
+			} else {
+				mark = "warn"
+			}
 		}
 		fmt.Fprintf(w, "%s %-40s %14.0f -> %14.0f ns/op  %+6.1f%%\n",
 			mark, d.Key.Name, d.Old, d.New, d.Pct)

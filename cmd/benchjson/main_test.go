@@ -192,6 +192,55 @@ func TestRunDiffExitCodes(t *testing.T) {
 	}
 }
 
+// TestRunDiffHardGate pins the -hard semantics: only regressions whose
+// name matches the regexp fail the diff; the rest are reported as "warn"
+// and keep exit code 0. This is the CI shape — BenchmarkMatrix/j=1 is the
+// hard gate, the forced-shard parallel variants stay warn-only.
+func TestRunDiffHardGate(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", report(map[string]float64{
+		"BenchmarkMatrix/j=1": 100,
+		"BenchmarkMatrix/j=4": 100,
+	}))
+	parallelSlower := writeReport(t, dir, "pslow.json", report(map[string]float64{
+		"BenchmarkMatrix/j=1": 100,
+		"BenchmarkMatrix/j=4": 200, // noise cell regressed
+	}))
+	serialSlower := writeReport(t, dir, "sslow.json", report(map[string]float64{
+		"BenchmarkMatrix/j=1": 200, // gated cell regressed
+		"BenchmarkMatrix/j=4": 200,
+	}))
+
+	var out strings.Builder
+	// Non-matching regression: warn, exit 0.
+	if code := runDiff([]string{oldPath, parallelSlower, "-hard", `^BenchmarkMatrix/j=1$`}, &out); code != 0 {
+		t.Errorf("warn-only regression exit code %d, want 0\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "warn") || strings.Contains(out.String(), "FAIL") {
+		t.Errorf("non-matching regression not downgraded to warn:\n%s", out.String())
+	}
+	// Matching regression: FAIL, exit 1 (the = form must parse too).
+	out.Reset()
+	if code := runDiff([]string{oldPath, serialSlower, `-hard=^BenchmarkMatrix/j=1$`}, &out); code != 1 {
+		t.Errorf("gated regression exit code %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Errorf("gated regression not marked FAIL:\n%s", out.String())
+	}
+	// Without -hard every regression still fails — the flag must not
+	// weaken the default.
+	if code := runDiff([]string{oldPath, parallelSlower}, io.Discard); code != 1 {
+		t.Errorf("default regression exit code %d, want 1", code)
+	}
+	// Flag errors are usage errors.
+	if code := runDiff([]string{oldPath, serialSlower, "-hard", "("}, io.Discard); code != 2 {
+		t.Errorf("bad regexp exit code %d, want 2", code)
+	}
+	if code := runDiff([]string{oldPath, serialSlower, "-hard"}, io.Discard); code != 2 {
+		t.Errorf("missing regexp exit code %d, want 2", code)
+	}
+}
+
 // TestDiffEdgeCases pins down the comparisons that used to pass silently:
 // zero-ns/op baselines and entries missing the ns/op metric entirely.
 func TestDiffEdgeCases(t *testing.T) {

@@ -157,16 +157,16 @@ func resolveTrace(traceIn, traceOut string, compare bool, wl, customPath string,
 	var tr *mempod.Trace
 	switch {
 	case traceIn != "":
-		f, err := os.Open(traceIn)
-		if err != nil {
+		var err error
+		if tr, err = mempod.OpenTrace(traceIn); err != nil {
 			return nil, err
 		}
-		defer f.Close()
-		if tr, err = mempod.ReadTrace(f); err != nil {
-			return nil, err
+		how := "read"
+		if tr.Mapped() {
+			how = "mapped"
 		}
-		fmt.Fprintf(os.Stderr, "mempodsim: replaying %s (%d requests, %.1f MB packed) from %s\n",
-			tr.Name(), tr.Requests(), float64(tr.Size())/(1<<20), traceIn)
+		fmt.Fprintf(os.Stderr, "mempodsim: replaying %s (%d requests, %.1f MB packed, %s) from %s\n",
+			tr.Name(), tr.Requests(), float64(tr.Size())/(1<<20), how, traceIn)
 	case traceOut != "" || compare:
 		var err error
 		if customPath != "" {

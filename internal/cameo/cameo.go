@@ -198,27 +198,77 @@ func (c *CAMEO) access(r *trace.Request, ln addr.Line, at clock.Time) clock.Time
 	}
 
 	if slot != 0 && (c.cfg.SwapOnWrite || !r.Write) {
-		// Event-triggered swap with the fast slot.
-		fastLine := c.lineOf(grp, 0)
-		end := c.backend.SwapLines(
-			c.geom.HomeLocation(fastLine),
-			c.geom.HomeLocation(slotLine),
-			start,
-		)
-		evicted := c.lineOf(grp, memberAt(perm, 0))
-		newPerm := perm
-		ma, mb := uint64(memberAt(perm, 0)), uint64(memberAt(perm, slot))
-		newPerm &^= 0xF | 0xF<<(4*slot)
-		newPerm |= mb | ma<<(4*slot)
-		c.groups.Set(uint32(grp), c.groups.A[grp], newPerm)
-		c.locks.Put(uint64(ln), end)
-		c.locks.Put(uint64(evicted), end)
-		c.stats.PageMigrations++ // one line promoted per event
-		c.stats.LineMigrations += 2
-		c.stats.GlobalMoveLines += 2 // MC-to-MC swaps cross the switch (§4.4)
-		c.stats.BytesMoved += 2 * addr.LineBytes
+		c.swapIntoFast(grp, perm, slot, ln, slotLine, start)
 	}
 	return done
+}
+
+// swapIntoFast performs CAMEO's event-triggered swap of the accessed
+// line (currently in `slot` of its group) with the group's fast slot:
+// the copy traffic, the permutation update, the locks on both moving
+// lines, and the counters. Shared by the per-request and column paths.
+func (c *CAMEO) swapIntoFast(grp, perm uint64, slot int, ln, slotLine addr.Line, start clock.Time) {
+	fastLine := c.lineOf(grp, 0)
+	end := c.backend.SwapLines(
+		c.geom.HomeLocation(fastLine),
+		c.geom.HomeLocation(slotLine),
+		start,
+	)
+	evicted := c.lineOf(grp, memberAt(perm, 0))
+	newPerm := perm
+	ma, mb := uint64(memberAt(perm, 0)), uint64(memberAt(perm, slot))
+	newPerm &^= 0xF | 0xF<<(4*slot)
+	newPerm |= mb | ma<<(4*slot)
+	c.groups.Set(uint32(grp), c.groups.A[grp], newPerm)
+	c.locks.Put(uint64(ln), end)
+	c.locks.Put(uint64(evicted), end)
+	c.stats.PageMigrations++ // one line promoted per event
+	c.stats.LineMigrations += 2
+	c.stats.GlobalMoveLines += 2 // MC-to-MC swaps cross the switch (§4.4)
+	c.stats.BytesMoved += 2 * addr.LineBytes
+}
+
+// AccessColumn implements mech.ColumnAccessor. CAMEO has no queues or
+// intervals; its only immediate channel traffic is the event-triggered
+// swap, which flushes the plan right after routing the triggering demand
+// access — preserving the per-request order (demand, then copy traffic,
+// both issued at the same request time). The LLP configuration chains a
+// misprediction probe into the demand's issue time and keeps the
+// per-request path.
+func (c *CAMEO) AccessColumn(sc *trace.SpanColumns, at, done []clock.Time) {
+	dec := sc.Dec
+	if c.pred != nil {
+		for i := range dec {
+			r := sc.Request(i)
+			done[i] = c.AccessDecoded(&r, &dec[i], at[i])
+		}
+		return
+	}
+	plan := c.backend.Plan()
+	plan.Begin(done)
+	for i := range dec {
+		write := sc.Write(i)
+		ti := at[i]
+		c.locks.MaybeCompact(sc.Times[i])
+		ln := addr.Line(dec[i].Page*addr.LinesPerPage + uint64(dec[i].Line))
+		grp, member := c.groupOf(ln)
+		perm := c.perm(grp)
+		slot := slotOf(perm, member, c.members)
+		var lockEnd clock.Time
+		if end := c.locks.GetActive(uint64(ln), ti); end != 0 {
+			lockEnd = end
+			c.stats.LockStalls++
+		}
+		done[i] = lockEnd
+		slotLine := c.lineOf(grp, slot)
+		loc := c.geom.HomeLocation(slotLine)
+		plan.Route(loc.Channel, loc.Row, write, ti, int32(i))
+		if slot != 0 && (c.cfg.SwapOnWrite || !write) {
+			plan.Flush()
+			c.swapIntoFast(grp, perm, slot, ln, slotLine, ti)
+		}
+	}
+	plan.Flush()
 }
 
 // CheckInvariants verifies that every touched group's slot assignment is a
@@ -257,4 +307,5 @@ var (
 	_ mech.Mechanism       = (*CAMEO)(nil)
 	_ mech.DecodedAccessor = (*CAMEO)(nil)
 	_ mech.Releaser        = (*CAMEO)(nil)
+	_ mech.ColumnAccessor  = (*CAMEO)(nil)
 )

@@ -342,6 +342,118 @@ func (m *MemPod) accessPod(p *pod, r *trace.Request, podID int, local uint32, li
 	return clock.Max(m.backend.Line(podID, f, li, r.Write, start), lockEnd)
 }
 
+// AccessColumn implements mech.ColumnAccessor: the serial access path
+// with demand accesses gathered into per-channel columns. Flush points
+// mirror every place the per-request path injects immediate channel
+// traffic — interval boundaries (full flush: every pod drains) and due
+// swap drains (pod-scoped: a drain only touches its pod's channels, so
+// only those columns flush and the other pods' keep accumulating) — so
+// the columns' channels see exactly the per-request state. With the
+// bookkeeping cache enabled a miss chains a read into the demand's
+// issue time, which a column cannot express; that configuration keeps
+// the per-request path.
+func (m *MemPod) AccessColumn(sc *trace.SpanColumns, at, done []clock.Time) {
+	dec := sc.Dec
+	if m.cfg.CacheBytes > 0 {
+		for i := range dec {
+			r := sc.Request(i)
+			done[i] = m.AccessDecoded(&r, &dec[i], at[i])
+		}
+		return
+	}
+	plan := m.backend.Plan()
+	plan.Begin(done)
+	for i := range dec {
+		d := &dec[i]
+		t := at[i]
+		if t >= m.next {
+			plan.Flush()
+			for t >= m.next {
+				m.runInterval(m.next)
+				m.next += m.cfg.Interval
+			}
+		}
+		p := &m.pods[d.Pod]
+		if p.qpos < len(p.queue) && p.queue[p.qpos].start <= t {
+			m.backend.FlushPodChannels(plan, int(d.Pod))
+			m.drainPod(p, t)
+		}
+		if m.touch.Touch(sc.Cores[i], d.Page) {
+			if p.mea != nil {
+				p.mea.Observe(uint64(d.Frame))
+			} else {
+				p.tracker.Observe(uint64(d.Frame))
+			}
+		}
+		var lockEnd clock.Time
+		if end := p.locks.GetActive(uint64(d.Frame), t); end != 0 {
+			lockEnd = end
+			p.stats.LockStalls++
+		}
+		done[i] = lockEnd
+		if f := p.remap.A[d.Frame]; f == d.Frame {
+			plan.Route(int(d.Chan), uint64(d.Row), sc.Write(i), t, int32(i))
+		} else {
+			ch, row := m.backend.LineLoc(int(d.Pod), addr.Frame(f))
+			plan.Route(ch, row, sc.Write(i), t, int32(i))
+		}
+	}
+	plan.Flush()
+}
+
+// AccessShardedColumn implements mech.PodShardedColumns: AccessSharded
+// over a worker's share of a wavefront segment, routed through the
+// worker-private plan. Boundaries are already advanced and the touch
+// filter already consulted (sc.Touched), so the only flush points left
+// are the worker's own pods' swap drains, each pod-scoped like the
+// serial path's (a drain touches only the draining pod's channels).
+func (m *MemPod) AccessShardedColumn(sc *mech.ShardedColumn) {
+	if m.cfg.CacheBytes > 0 {
+		for i := sc.Lo; i < sc.Hi; i++ {
+			d := &sc.Dec[i]
+			if int(d.Pod)%sc.Workers != sc.Worker {
+				continue
+			}
+			sc.Done[i] = m.AccessSharded(&sc.Reqs[i], d, sc.At[i], sc.Touched[i])
+		}
+		return
+	}
+	plan := sc.Plan
+	plan.Begin(sc.Done)
+	for i := sc.Lo; i < sc.Hi; i++ {
+		d := &sc.Dec[i]
+		if int(d.Pod)%sc.Workers != sc.Worker {
+			continue
+		}
+		t := sc.At[i]
+		p := &m.pods[d.Pod]
+		if p.qpos < len(p.queue) && p.queue[p.qpos].start <= t {
+			m.backend.FlushPodChannels(plan, int(d.Pod))
+			m.drainPod(p, t)
+		}
+		if sc.Touched[i] {
+			if p.mea != nil {
+				p.mea.Observe(uint64(d.Frame))
+			} else {
+				p.tracker.Observe(uint64(d.Frame))
+			}
+		}
+		var lockEnd clock.Time
+		if end := p.locks.GetActive(uint64(d.Frame), t); end != 0 {
+			lockEnd = end
+			p.stats.LockStalls++
+		}
+		sc.Done[i] = lockEnd
+		if f := p.remap.A[d.Frame]; f == d.Frame {
+			plan.Route(int(d.Chan), uint64(d.Row), sc.Reqs[i].Write, t, int32(i))
+		} else {
+			ch, row := m.backend.LineLoc(int(d.Pod), addr.Frame(f))
+			plan.Route(ch, row, sc.Reqs[i].Write, t, int32(i))
+		}
+	}
+	plan.Flush()
+}
+
 // drainPod executes the pod's due swaps: every queue entry whose paced
 // start is at or before `now`. Swaps serialize through the pod's single
 // migration driver (lastSwapEnd).
@@ -575,7 +687,9 @@ func (m *MemPod) CheckInvariants() error {
 }
 
 var (
-	_ mech.Mechanism       = (*MemPod)(nil)
-	_ mech.DecodedAccessor = (*MemPod)(nil)
-	_ mech.Releaser        = (*MemPod)(nil)
+	_ mech.Mechanism         = (*MemPod)(nil)
+	_ mech.DecodedAccessor   = (*MemPod)(nil)
+	_ mech.Releaser          = (*MemPod)(nil)
+	_ mech.ColumnAccessor    = (*MemPod)(nil)
+	_ mech.PodShardedColumns = (*MemPod)(nil)
 )

@@ -222,5 +222,118 @@ func (c *Channel) Access(row uint64, write bool, at clock.Time) clock.Time {
 	return done
 }
 
+// BatchReq is one decoded request in a per-channel column: the row and
+// issue time of an access plus the caller's scatter index for the
+// completion. Columns are built by routing a span of requests to their
+// home channels (mech.ColumnPlan) and serviced densely by AccessBatch.
+type BatchReq struct {
+	Row   uint64
+	At    clock.Time
+	Idx   int32
+	Write bool
+}
+
+// AccessBatch services a dense column of requests on this channel, in
+// column order, exactly as the equivalent sequence of Access calls would
+// — same bank/row transitions, refresh catch-up, bus serialization and
+// counters — but with the channel-level state (bus-free time, next
+// refresh, stat tallies) held in locals across the whole column and
+// written back once. For each request it folds the completion into
+// done[Idx] as a running max, so callers can preload done with a
+// completion floor (e.g. a migration-lock release time) and read back
+// max(floor, channel completion) without a second pass.
+func (c *Channel) AccessBatch(reqs []BatchReq, done []clock.Time) {
+	banks := c.banks
+	busFreeAt := c.busFreeAt
+	nextRefresh := c.nextRefresh
+	var reads, writes, rowHits, rowClosed, rowConflicts, refreshes uint64
+	var lastFinish clock.Time
+	burst := c.burst
+	closedPage := c.spec.Policy == ClosedPage
+
+	for i := range reqs {
+		r := &reqs[i]
+		at := r.At
+		if at >= nextRefresh {
+			k := (at-nextRefresh)/c.spec.RefreshInterval + 1
+			refreshEnd := nextRefresh + clock.Duration(k-1)*c.spec.RefreshInterval + c.spec.RefreshTime
+			for j := range banks {
+				banks[j].openRow = -1
+				if banks[j].nextCmd < refreshEnd {
+					banks[j].nextCmd = refreshEnd
+				}
+			}
+			if busFreeAt < refreshEnd {
+				busFreeAt = refreshEnd
+			}
+			refreshes += uint64(k)
+			nextRefresh += clock.Duration(k) * c.spec.RefreshInterval
+		}
+
+		row := r.Row
+		var b *bank
+		var bankRow int64
+		if c.bankPow2 {
+			b = &banks[row&c.bankMask]
+			bankRow = int64(row >> c.bankShift)
+		} else {
+			b = &banks[row%uint64(len(banks))]
+			bankRow = int64(row / uint64(len(banks)))
+		}
+
+		start := clock.Max(at, b.nextCmd)
+		var lat clock.Duration
+		switch {
+		case b.openRow == bankRow:
+			rowHits++
+			lat = c.latHit
+			b.nextCmd = start + burst
+		case b.openRow < 0:
+			rowClosed++
+			lat = c.latClosed
+			b.activatedAt = start
+			b.nextCmd = start + lat
+		default:
+			rowConflicts++
+			start = clock.Max(start, b.activatedAt+c.ras)
+			lat = c.latConflict
+			b.activatedAt = start + c.rp
+			b.nextCmd = start + lat
+		}
+		if closedPage {
+			b.openRow = -1
+		} else {
+			b.openRow = bankRow
+		}
+
+		dataReady := start + lat
+		busStart := clock.Max(dataReady, busFreeAt)
+		fin := busStart + burst
+		busFreeAt = fin
+
+		if r.Write {
+			writes++
+		} else {
+			reads++
+		}
+		lastFinish = fin
+		if fin > done[r.Idx] {
+			done[r.Idx] = fin
+		}
+	}
+
+	c.busFreeAt = busFreeAt
+	c.nextRefresh = nextRefresh
+	c.stats.Reads += reads
+	c.stats.Writes += writes
+	c.stats.RowHits += rowHits
+	c.stats.RowClosed += rowClosed
+	c.stats.RowConflicts += rowConflicts
+	c.stats.Refreshes += refreshes
+	if len(reqs) > 0 {
+		c.stats.LastFinish = lastFinish
+	}
+}
+
 // Idle reports whether the channel has no pending bus occupancy at time t.
 func (c *Channel) Idle(t clock.Time) bool { return c.busFreeAt <= t }

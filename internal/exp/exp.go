@@ -76,6 +76,13 @@ type Config struct {
 	// bound); it does not retain snapshots between runs — every batch
 	// declares exact use counts and frees each snapshot at its last use.
 	Traces *tracecache.Cache
+	// TraceDir, when non-empty, enables the snapshot disk store
+	// (tracecache.Cache.SetDir) for runs that create their own transient
+	// cache: generated traces persist there as MPS1 files and reload —
+	// memory-mapped where supported — on later runs instead of being
+	// regenerated. Ignored when Traces is set (configure the shared cache
+	// directly in that case).
+	TraceDir string
 }
 
 // DefaultConfig returns the full-evaluation configuration.
@@ -192,7 +199,11 @@ func (c Config) traceCache() *tracecache.Cache {
 	if c.Traces != nil {
 		return c.Traces
 	}
-	return tracecache.New()
+	t := tracecache.New()
+	if c.TraceDir != "" {
+		t.SetDir(c.TraceDir)
+	}
+	return t
 }
 
 // traceKey identifies w's generated trace under this config. Workload

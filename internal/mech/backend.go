@@ -3,6 +3,7 @@ package mech
 import (
 	"repro/internal/addr"
 	"repro/internal/clock"
+	"repro/internal/dram"
 	"repro/internal/memsys"
 )
 
@@ -29,6 +30,13 @@ type Backend struct {
 	dFastCPP   addr.Divisor
 	dSlowCPP   addr.Divisor
 	fastPerPod uint32
+	// Plain channels-per-pod counts, for pod-scoped column flushes.
+	fastCPP int
+	slowCPP int
+
+	// plan is the backend's shared column plan for serial column routing
+	// (Plan); pod-parallel workers build their own with NewColumnPlan.
+	plan *ColumnPlan
 }
 
 // NewBackend wraps a memory system.
@@ -43,6 +51,7 @@ func NewBackend(sys *memsys.System) *Backend {
 	}
 	b.dFastCPP = addr.NewDivisor(uint64(fastCPP))
 	b.dSlowCPP = addr.NewDivisor(uint64(slowCPP))
+	b.fastCPP, b.slowCPP = fastCPP, slowCPP
 	b.fastBase = make([]int32, l.NumPods)
 	b.slowBase = make([]int32, l.NumPods)
 	for pod := 0; pod < l.NumPods; pod++ {
@@ -65,6 +74,40 @@ func (b *Backend) Line(pod int, f addr.Frame, li int, write bool, at clock.Time)
 	sf := uint64(uint32(f) - b.fastPerPod)
 	ch := int(b.slowBase[pod]) + int(b.dSlowCPP.Mod(sf))
 	return b.Sys.AccessChannel(ch, b.dSlowCPP.Div(sf)/addr.PagesPerRow, write, at)
+}
+
+// LineLoc resolves frame f of pod `pod` to its channel and row without
+// issuing the access — the routing half of Line, for mechanisms that
+// gather requests into per-channel columns before servicing them.
+func (b *Backend) LineLoc(pod int, f addr.Frame) (ch int, row uint64) {
+	if uint32(f) < b.fastPerPod {
+		fv := uint64(uint32(f))
+		return int(b.fastBase[pod]) + int(b.dFastCPP.Mod(fv)), b.dFastCPP.Div(fv) / addr.PagesPerRow
+	}
+	sf := uint64(uint32(f) - b.fastPerPod)
+	return int(b.slowBase[pod]) + int(b.dSlowCPP.Mod(sf)), b.dSlowCPP.Div(sf) / addr.PagesPerRow
+}
+
+// Plan returns the backend's shared column plan, creating it on first
+// use. Serial-path mechanisms route through this one; it must never be
+// used from more than one goroutine.
+func (b *Backend) Plan() *ColumnPlan {
+	if b.plan == nil {
+		b.plan = NewColumnPlan(b.Sys)
+	}
+	return b.plan
+}
+
+// FlushPodChannels flushes the plan's pending columns on pod's own
+// channels — its fast range and its slow range — leaving other pods'
+// columns accumulating. This covers every channel a pod-local event
+// (migration drain, bookkeeping read) can touch: demand, copy and
+// bookkeeping traffic for a pod all route inside its channel ranges.
+func (b *Backend) FlushPodChannels(p *ColumnPlan, pod int) {
+	lo := int(b.fastBase[pod])
+	p.FlushRange(lo, lo+b.fastCPP)
+	lo = int(b.slowBase[pod])
+	p.FlushRange(lo, lo+b.slowCPP)
 }
 
 // LineAt services one line access at an already-resolved channel/row —
@@ -97,25 +140,77 @@ func (b *Backend) SwapPages(pod int, fa, fb addr.Frame, at clock.Time) clock.Tim
 // demand at the memory controllers instead of monopolizing a channel in
 // one burst.
 func (b *Backend) SwapPagesChunk(pod int, fa, fb addr.Frame, lo, hi int, at clock.Time) clock.Time {
-	end := at
-	for li := lo; li < hi; li++ {
-		if t := b.Line(pod, fa, li, false, at); t > end {
-			end = t
-		}
-		if t := b.Line(pod, fb, li, false, at); t > end {
-			end = t
-		}
+	chA, rowA := b.LineLoc(pod, fa)
+	chB, rowB := b.LineLoc(pod, fb)
+	return b.swapChunk(chA, rowA, chB, rowB, hi-lo, at)
+}
+
+// swapChunk issues the copy traffic of an n-line swap chunk between two
+// resolved page slots through the channel batch kernel: n reads of each
+// slot issued at `at`, then n write-backs of each issued when the last
+// read completes. All lines of a page share its slot's row, so each
+// phase is one dense column per channel — the per-request equivalent
+// interleaved A/B line accesses land on the two (independent) channels
+// in exactly this per-channel order, and when both slots share a channel
+// the interleaved order is preserved explicitly, so the kernel's answer
+// is bit-identical either way.
+func (b *Backend) swapChunk(chA int, rowA uint64, chB int, rowB uint64, n int, at clock.Time) clock.Time {
+	// Short chunks (the paced common case) go through the per-request
+	// channel path for the same reason ColumnPlan.Flush does below
+	// smallColumn: the kernel's state hoisting costs more than it saves
+	// on a handful of requests. Identical results either way.
+	colLen := n
+	if chA == chB {
+		colLen = 2 * n
 	}
-	readsDone := end
-	for li := lo; li < hi; li++ {
-		if t := b.Line(pod, fa, li, true, readsDone); t > end {
-			end = t
+	if colLen < smallColumn {
+		end := at
+		for i := 0; i < n; i++ {
+			if t := b.Sys.AccessChannel(chA, rowA, false, at); t > end {
+				end = t
+			}
+			if t := b.Sys.AccessChannel(chB, rowB, false, at); t > end {
+				end = t
+			}
 		}
-		if t := b.Line(pod, fb, li, true, readsDone); t > end {
-			end = t
+		readsDone := end
+		for i := 0; i < n; i++ {
+			if t := b.Sys.AccessChannel(chA, rowA, true, readsDone); t > end {
+				end = t
+			}
+			if t := b.Sys.AccessChannel(chB, rowB, true, readsDone); t > end {
+				end = t
+			}
 		}
+		return end
 	}
-	return end
+	var colA, colB [2 * addr.LinesPerPage]dram.BatchReq
+	done := [2]clock.Time{at, at}
+	phase := func(write bool, t clock.Time) clock.Time {
+		reqA := dram.BatchReq{Row: rowA, At: t, Idx: 0, Write: write}
+		reqB := dram.BatchReq{Row: rowB, At: t, Idx: 1, Write: write}
+		if chA == chB {
+			for i := 0; i < n; i++ {
+				colA[2*i] = reqA
+				colA[2*i+1] = reqB
+			}
+			b.Sys.AccessChannelBatch(chA, colA[:2*n], done[:])
+		} else {
+			for i := 0; i < n; i++ {
+				colA[i] = reqA
+				colB[i] = reqB
+			}
+			b.Sys.AccessChannelBatch(chA, colA[:n], done[:])
+			b.Sys.AccessChannelBatch(chB, colB[:n], done[:])
+		}
+		if done[1] > done[0] {
+			return done[1]
+		}
+		return done[0]
+	}
+	readsDone := phase(false, at)
+	done[0], done[1] = readsDone, readsDone
+	return phase(true, readsDone)
 }
 
 // SwapGlobal swaps the contents of two arbitrary page slots of the flat
@@ -130,27 +225,26 @@ func (b *Backend) SwapGlobal(slotA, slotB addr.Page, at clock.Time) clock.Time {
 // SwapGlobalChunk performs the lines [lo, hi) of a global page swap; see
 // SwapPagesChunk for why swaps are chunked.
 func (b *Backend) SwapGlobalChunk(slotA, slotB addr.Page, lo, hi int, at clock.Time) clock.Time {
+	return b.SwapGlobalChunkPlanned(nil, slotA, slotB, lo, hi, at)
+}
+
+// SwapGlobalChunkPlanned is SwapGlobalChunk for a mechanism mid-span on
+// a column plan: before issuing the copy traffic it flushes only the two
+// slots' channels, so the pending demand there is serviced first (the
+// per-request interleaving) while every other channel's column keeps
+// accumulating. plan may be nil (per-request path).
+func (b *Backend) SwapGlobalChunkPlanned(plan *ColumnPlan, slotA, slotB addr.Page, lo, hi int, at clock.Time) clock.Time {
 	podA, fA := b.Geom.HomeFrame(slotA)
 	podB, fB := b.Geom.HomeFrame(slotB)
-	end := at
-	for li := lo; li < hi; li++ {
-		if t := b.Line(podA, fA, li, false, at); t > end {
-			end = t
-		}
-		if t := b.Line(podB, fB, li, false, at); t > end {
-			end = t
-		}
-	}
-	readsDone := end
-	for li := lo; li < hi; li++ {
-		if t := b.Line(podA, fA, li, true, readsDone); t > end {
-			end = t
-		}
-		if t := b.Line(podB, fB, li, true, readsDone); t > end {
-			end = t
+	chA, rowA := b.LineLoc(podA, fA)
+	chB, rowB := b.LineLoc(podB, fB)
+	if plan != nil {
+		plan.FlushChannel(chA)
+		if chB != chA {
+			plan.FlushChannel(chB)
 		}
 	}
-	return end
+	return b.swapChunk(chA, rowA, chB, rowB, hi-lo, at)
 }
 
 // SwapLines performs CAMEO's line-granularity swap between two locations:

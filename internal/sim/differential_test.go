@@ -1,6 +1,9 @@
 package sim
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
 
@@ -62,26 +65,60 @@ func TestBatchedEngineBitIdentical(t *testing.T) {
 	snap := trace.Record(trace.NewSliceStream(reqs), len(reqs))
 	defer snap.Release()
 
+	// The mapped leg replays the same snapshot through the disk-store open
+	// (zero-copy columns where the platform supports mmap, the copying
+	// reader elsewhere), so the store path is held to the same bit-identity
+	// bar as the in-memory restructurings.
+	var buf bytes.Buffer
+	if err := trace.WriteSnapshot(&buf, w.Name, snap); err != nil {
+		t.Fatal(err)
+	}
+	mpath := filepath.Join(t.TempDir(), "wl.mps1")
+	if err := os.WriteFile(mpath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	msnap, _, err := trace.OpenMapped(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer msnap.Release()
+
 	for _, mc := range mechanisms {
-		runWith := func(s trace.Stream) stats.Result {
+		runWith := func(s trace.Stream, noColumns bool) (stats.Result, *Engine) {
 			b := newBackend()
 			m := mc.build(b)
-			res, err := New(b, m).Run(w.Name, s)
+			e := New(b, m)
+			e.noColumns = noColumns
+			res, err := e.Run(w.Name, s)
 			if err != nil {
 				t.Fatalf("%s: %v", mc.name, err)
 			}
-			return res
+			return res, e
 		}
-		serial := runWith(trace.NewSliceStream(reqs))
-		batchedNoPlane := runWith(snap.Stream())
+		serial, _ := runWith(trace.NewSliceStream(reqs), false)
+		batchedNoPlane, _ := runWith(snap.Stream(), false)
 		geomBackend := newBackend()
-		batchedPlane := runWith(snap.DecodedStream(&geomBackend.Geom))
+		batchedPlane, planeEng := runWith(snap.DecodedStream(&geomBackend.Geom), false)
+		perReqBackend := newBackend()
+		batchedPerReq, perReqEng := runWith(snap.DecodedStream(&perReqBackend.Geom), true)
+		mappedBackend := newBackend()
+		mappedRes, _ := runWith(msnap.DecodedStream(&mappedBackend.Geom), false)
 
 		if serial.Requests != n {
 			t.Fatalf("%s: serial replayed %d requests, want %d", mc.name, serial.Requests, n)
 		}
+		// The planed run must have gone through the channel-column kernel;
+		// the noColumns run pins the per-request reference it diffs against.
+		if planeEng.ColumnSpans() == 0 {
+			t.Errorf("%s: batched(plane) run never took the column path", mc.name)
+		}
+		if perReqEng.ColumnSpans() != 0 {
+			t.Errorf("%s: noColumns run took the column path (%d spans)", mc.name, perReqEng.ColumnSpans())
+		}
 		diffResults(t, mc.name+" batched(no plane) vs serial", batchedNoPlane, serial)
-		diffResults(t, mc.name+" batched(plane) vs serial", batchedPlane, serial)
+		diffResults(t, mc.name+" batched(plane, columns) vs serial", batchedPlane, serial)
+		diffResults(t, mc.name+" batched(plane, per-request) vs serial", batchedPerReq, serial)
+		diffResults(t, mc.name+" mapped replay vs serial", mappedRes, serial)
 	}
 }
 

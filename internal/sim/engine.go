@@ -49,11 +49,26 @@ type Engine struct {
 	// costing two heap allocations per Run.
 	batchBuf []trace.Request
 	decBuf   []trace.Decoded
+	// Column buffers for runBatchedColumns (issue times and completions;
+	// arrivals come straight from the stream's decoded time column),
+	// allocated on first use and reused. spanBuf is the span view handed
+	// to the mechanism — a single reused heap object, because a stack
+	// span would escape through the ColumnAccessor interface call and
+	// cost one allocation per span.
+	atBuf   []clock.Time
+	doneBuf []clock.Time
+	spanBuf *trace.SpanColumns
 	// pp holds the pod-parallel path's block buffers, reused across runs.
 	pp *podParallel
 	// parallelBlocks counts request blocks processed by the pod-parallel
 	// path, for tests and diagnostics.
 	parallelBlocks uint64
+	// columnSpans counts request spans serviced through the mechanism's
+	// column path (mech.ColumnAccessor), for tests and diagnostics.
+	columnSpans uint64
+	// noColumns forces the per-request dispatch even for column-capable
+	// mechanisms; the differential tests use it to run the reference path.
+	noColumns bool
 }
 
 // New returns an engine for the mechanism built over the backend.
@@ -174,6 +189,11 @@ func (e *Engine) runBatched(bs trace.BatchStream, ring []clock.Time, window int,
 	buf, decBuf := e.batchBuf, e.decBuf
 	dm, _ := e.m.(mech.DecodedAccessor)
 	usePlane := dm != nil && bs.HasPlane()
+	if ca, ok := e.m.(mech.ColumnAccessor); ok && usePlane && !e.noColumns {
+		if cs, ok := bs.(trace.ColumnStream); ok && cs.HasColumns() {
+			return e.runBatchedColumns(cs, ca, ring, window, res)
+		}
+	}
 	// Snapshot cursors lend their plane entries by subslice; other batch
 	// streams fill our buffer.
 	sbs, sharedPlane := bs.(trace.SharedBatchStream)
@@ -244,6 +264,116 @@ func (e *Engine) runBatched(bs trace.BatchStream, ring []clock.Time, window int,
 		res.Requests, res.TotalStall, res.Span = requests, totalStall, span
 	}
 	res.Requests, res.TotalStall, res.Span = requests, totalStall, span
+	return nil
+}
+
+// ColumnSpans reports how many request spans the engine has serviced
+// through the column path, across all runs. Zero after a run on a planed
+// stream means the run used per-request dispatch.
+func (e *Engine) ColumnSpans() uint64 { return e.columnSpans }
+
+// runBatchedColumns replays a ColumnStream through the mechanism's
+// column path (mech.ColumnAccessor) in wavefront spans of at most one
+// window. The argument is the same as parallel.go's one-window blocks:
+// every window gate of a span is a completion from at least `window`
+// requests back — an earlier span — so a serial prepass fixes all of the
+// span's issue times before any of it is simulated, and the mechanism is
+// free to gather the span's demand accesses into per-channel columns.
+// Spans come straight off the stream's decoded columns (trace.SpanColumns)
+// with no Request materialization; the span's own time column doubles as
+// the arrival column for stats. Order checking runs in the prepass
+// (truncating the span at a violation but still simulating the requests
+// before it), the contract check and ring writes run in a postpass over
+// the dense completion column, and stall accounting goes through
+// stats.Accum.NoteColumn. Error messages and partial results reproduce
+// the per-request path exactly.
+func (e *Engine) runBatchedColumns(cs trace.ColumnStream, ca mech.ColumnAccessor, ring []clock.Time, window int, res *stats.Result) error {
+	if e.atBuf == nil {
+		e.atBuf = make([]clock.Time, BatchSize)
+		e.doneBuf = make([]clock.Time, BatchSize)
+		e.spanBuf = new(trace.SpanColumns)
+	}
+	at, doneCol, sub := e.atBuf, e.doneBuf, e.spanBuf
+	spanMax := window
+	if spanMax <= 0 || spanMax > BatchSize {
+		spanMax = BatchSize
+	}
+
+	var lastArrival clock.Time
+	var acc stats.Accum
+	ringPos := 0
+	for {
+		sc := cs.NextSpan(spanMax)
+		span := sc.Len()
+		if span == 0 {
+			break
+		}
+		times := sc.Times
+		var orderErr error
+		for k := 0; k < span; k++ {
+			t := times[k]
+			if t < lastArrival {
+				orderErr = fmt.Errorf("sim: trace out of order at request %d (%v < %v)",
+					acc.Requests+uint64(k), t, lastArrival)
+				span = k
+				break
+			}
+			lastArrival = t
+			if ring != nil {
+				slot := ringPos + k
+				if slot >= window {
+					slot -= window
+				}
+				if gate := ring[slot]; gate > t {
+					t = gate
+				}
+			}
+			at[k] = t
+		}
+		if span > 0 {
+			*sub = sc
+			sub.Times = sc.Times[:span]
+			sub.Dec = sc.Dec[:span]
+			sub.Cores = sc.Cores[:span]
+			done := doneCol[:span]
+			ca.AccessColumn(sub, at[:span], done)
+			e.columnSpans++
+			bad := -1
+			for k := 0; k < span; k++ {
+				if done[k] <= at[k] {
+					bad = k
+					break
+				}
+			}
+			ok := span
+			if bad >= 0 {
+				ok = bad
+			}
+			if ring != nil {
+				for k := 0; k < ok; k++ {
+					slot := ringPos + k
+					if slot >= window {
+						slot -= window
+					}
+					ring[slot] = done[k]
+				}
+				if ringPos += ok; ringPos >= window {
+					ringPos -= window
+				}
+			}
+			acc.NoteColumn(times[:ok], done[:ok])
+			if bad >= 0 {
+				acc.FlushTo(res)
+				return fmt.Errorf("sim: mechanism %s returned completion %v <= issue %v",
+					e.m.Name(), done[bad], at[bad])
+			}
+		}
+		if orderErr != nil {
+			acc.FlushTo(res)
+			return orderErr
+		}
+	}
+	acc.FlushTo(res)
 	return nil
 }
 

@@ -72,7 +72,12 @@ type podWorker struct {
 	acc    stats.Accum
 	err    error // first contract violation seen by this worker
 	errIdx int   // block index of that violation
-	_      [64]byte
+	// arr/done are the worker's dense postpass columns on the column
+	// path: the owned requests' arrivals and completions, gathered so
+	// stall accounting runs through stats.Accum.NoteColumn.
+	arr  []clock.Time
+	done []clock.Time
+	_    [64]byte
 }
 
 // podParallel holds the pod-parallel path's reusable block buffers and
@@ -84,6 +89,9 @@ type podParallel struct {
 	dec   []trace.Decoded
 	at    []clock.Time
 	touch []bool
+	// done is the block's completion column on the column path; workers
+	// write only their owned indices (pods partition the block).
+	done []clock.Time
 
 	curReqs  []trace.Request
 	curDec   []trace.Decoded
@@ -99,11 +107,13 @@ func (pp *podParallel) grow(blockLen int) {
 		pp.dec = make([]trace.Decoded, blockLen)
 		pp.at = make([]clock.Time, blockLen)
 		pp.touch = make([]bool, blockLen)
+		pp.done = make([]clock.Time, blockLen)
 	}
 	pp.reqs = pp.reqs[:blockLen]
 	pp.dec = pp.dec[:blockLen]
 	pp.at = pp.at[:blockLen]
 	pp.touch = pp.touch[:blockLen]
+	pp.done = pp.done[:blockLen]
 }
 
 // shardPlan decides whether this run takes the pod-parallel path and with
@@ -153,14 +163,69 @@ func (e *Engine) runPodParallel(bs trace.BatchStream, ps mech.PodSharded, worker
 	sbs, shared := bs.(trace.SharedBatchStream)
 	tf := ps.SharedTouch()
 
+	psc, _ := ps.(mech.PodShardedColumns)
+	if e.noColumns {
+		psc = nil
+	}
+
 	pp.workers = make([]podWorker, workers)
 	for w := range pp.workers {
 		pp.workers[w].jobs = make(chan segment, 1)
 		go func(w int) {
 			pw := &pp.workers[w]
+			// Column-capable mechanisms get a worker-private plan: workers
+			// own disjoint pods, so their plans route to disjoint channel
+			// sets and flush without synchronization.
+			var plan *mech.ColumnPlan
+			if psc != nil {
+				plan = mech.NewColumnPlan(e.backend.Sys)
+			}
 			for sg := range pw.jobs {
 				reqs, dec := pp.curReqs, pp.curDec
 				at, touch := pp.at, pp.touch
+				if plan != nil {
+					doneCol := pp.done
+					psc.AccessShardedColumn(&mech.ShardedColumn{
+						Plan: plan, Reqs: reqs, Dec: dec, At: at,
+						Touched: touch, Done: doneCol,
+						Lo: sg.lo, Hi: sg.hi, Worker: w, Workers: workers,
+					})
+					// Postpass over the worker's own indices: contract
+					// check, ring writes, and the dense arrival/completion
+					// columns for NoteColumn. A contract violation stops
+					// the tally at the offending request, like the
+					// per-request path (the rest of the segment has been
+					// simulated by then; see the error-path note above).
+					arr, done := pw.arr[:0], pw.done[:0]
+					for i := sg.lo; i < sg.hi; i++ {
+						if int(dec[i].Pod)%workers != w {
+							continue
+						}
+						issue := at[i]
+						d := doneCol[i]
+						if d <= issue {
+							if pw.err == nil {
+								pw.err = fmt.Errorf("sim: mechanism %s returned completion %v <= issue %v",
+									ps.Name(), d, issue)
+								pw.errIdx = i
+							}
+							break
+						}
+						if ring != nil {
+							slot := pp.ringBase + i
+							if slot >= window {
+								slot -= window
+							}
+							ring[slot] = d
+						}
+						arr = append(arr, reqs[i].Time)
+						done = append(done, d)
+					}
+					pw.acc.NoteColumn(arr, done)
+					pw.arr, pw.done = arr, done
+					pp.wg.Done()
+					continue
+				}
 				for i := sg.lo; i < sg.hi; i++ {
 					if int(dec[i].Pod)%workers != w {
 						continue
@@ -265,6 +330,9 @@ func (e *Engine) runPodParallel(bs trace.BatchStream, ps mech.PodSharded, worker
 				pp.workers[w].jobs <- segment{lo, hi}
 			}
 			pp.wg.Wait()
+			if psc != nil {
+				e.columnSpans++
+			}
 			for w := range pp.workers {
 				if pp.workers[w].err != nil {
 					// Deterministic error selection: the earliest failing

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -53,15 +54,17 @@ func TestPodParallelBitIdentical(t *testing.T) {
 	defer snap.Release()
 
 	// run replays the snapshot through a fresh backend+mechanism with the
-	// given window and shard setting, returning the result, the engine's
-	// parallel-block count and the mechanism's final touch-filter state.
-	run := func(t *testing.T, build func(b *mech.Backend) mech.Mechanism, window, shards int) (stats.Result, uint64, *mech.TouchFilter) {
+	// given window and shard setting, returning the result, the engine (for
+	// its path counters) and the mechanism's final touch-filter state.
+	// noColumns forces per-request dispatch inside whichever path runs.
+	run := func(t *testing.T, build func(b *mech.Backend) mech.Mechanism, window, shards int, noColumns bool) (stats.Result, *Engine, *mech.TouchFilter) {
 		t.Helper()
 		b := newBackend()
 		m := build(b)
 		e := New(b, m)
 		e.Window = window
 		e.Shards = shards
+		e.noColumns = noColumns
 		res, err := e.Run(w.Name, snap.DecodedStream(&b.Geom))
 		if err != nil {
 			t.Fatal(err)
@@ -70,7 +73,7 @@ func TestPodParallelBitIdentical(t *testing.T) {
 		if ts, ok := m.(mech.TouchSharer); ok {
 			tf = ts.SharedTouch()
 		}
-		return res, e.ParallelBlocks(), tf
+		return res, e, tf
 	}
 
 	// Every mechanism at the default window, shards forced to the pod
@@ -79,20 +82,20 @@ func TestPodParallelBitIdentical(t *testing.T) {
 	for _, mc := range mechanisms {
 		mc := mc
 		t.Run(mc.name, func(t *testing.T) {
-			serial, blocks, serialTouch := run(t, mc.build, 0, 1)
+			serial, se, serialTouch := run(t, mc.build, 0, 1, false)
 			if serial.Requests != n {
 				t.Fatalf("serial replayed %d requests, want %d", serial.Requests, n)
 			}
-			if blocks != 0 {
-				t.Fatalf("Shards=1 run took the parallel path (%d blocks)", blocks)
+			if se.ParallelBlocks() != 0 {
+				t.Fatalf("Shards=1 run took the parallel path (%d blocks)", se.ParallelBlocks())
 			}
-			par, blocks, parTouch := run(t, mc.build, 0, 4)
+			par, pe, parTouch := run(t, mc.build, 0, 4, false)
 			_, sharded := mc.build(newBackend()).(mech.PodSharded)
-			if sharded && blocks == 0 {
+			if sharded && pe.ParallelBlocks() == 0 {
 				t.Errorf("pod-sharded mechanism never took the parallel path")
 			}
-			if !sharded && blocks != 0 {
-				t.Errorf("non-sharded mechanism took the parallel path (%d blocks)", blocks)
+			if !sharded && pe.ParallelBlocks() != 0 {
+				t.Errorf("non-sharded mechanism took the parallel path (%d blocks)", pe.ParallelBlocks())
 			}
 			diffResults(t, "parallel vs serial", par, serial)
 			if serialTouch != nil && parTouch != nil && *serialTouch != *parTouch {
@@ -104,20 +107,34 @@ func TestPodParallelBitIdentical(t *testing.T) {
 	// The sharded mechanisms across window shapes and worker counts:
 	// window 32 makes blocks small (many wavefronts, boundary crossings
 	// land mid-block), -1 removes gating entirely (unlimited-block path),
-	// and 3 workers assigns pods unevenly (pod 3 shares worker 0).
+	// and 3 workers assigns pods unevenly (pod 3 shares worker 0). Each
+	// cell runs four ways — serial and parallel, columns and per-request —
+	// and all four must agree, which is the tentpole's differential proof
+	// for the sharded-column worker path.
 	for _, mc := range podParallelCases {
 		mc := mc
 		for _, window := range []int{0, 32, -1} {
 			for _, shards := range []int{2, 3, 4} {
 				t.Run(fmt.Sprintf("%s/window=%d/shards=%d", mc.name, window, shards), func(t *testing.T) {
-					serial, _, serialTouch := run(t, mc.build, window, 1)
-					par, blocks, parTouch := run(t, mc.build, window, shards)
-					if blocks == 0 {
+					serial, _, serialTouch := run(t, mc.build, window, 1, true)
+					par, pe, parTouch := run(t, mc.build, window, shards, false)
+					if pe.ParallelBlocks() == 0 {
 						t.Fatalf("run never took the parallel path")
 					}
-					diffResults(t, "parallel vs serial", par, serial)
+					if pe.ColumnSpans() == 0 {
+						t.Errorf("parallel run never dispatched sharded columns")
+					}
+					diffResults(t, "parallel(columns) vs serial(per-request)", par, serial)
 					if *serialTouch != *parTouch {
 						t.Errorf("touch filter state diverged between serial and parallel runs")
+					}
+					parNC, pnce, parNCTouch := run(t, mc.build, window, shards, true)
+					if pnce.ColumnSpans() != 0 {
+						t.Errorf("noColumns parallel run dispatched columns (%d spans)", pnce.ColumnSpans())
+					}
+					diffResults(t, "parallel(per-request) vs serial(per-request)", parNC, serial)
+					if *serialTouch != *parNCTouch {
+						t.Errorf("touch filter state diverged between serial and noColumns parallel runs")
 					}
 				})
 			}
@@ -141,20 +158,27 @@ func TestPodParallelRejectsUnorderedTrace(t *testing.T) {
 	snap := trace.Record(trace.NewSliceStream(reqs), len(reqs))
 	defer snap.Release()
 
-	runWith := func(shards int) (stats.Result, error) {
+	runWith := func(shards int, noColumns bool) (stats.Result, error) {
 		b := newBackend()
 		e := New(b, core.MustNew(core.DefaultConfig(), b))
 		e.Shards = shards
+		e.noColumns = noColumns
 		return e.Run(w.Name, snap.DecodedStream(&b.Geom))
 	}
-	serialRes, serialErr := runWith(1)
-	parRes, parErr := runWith(4)
-	if serialErr == nil || parErr == nil {
-		t.Fatalf("unordered trace accepted (serial err %v, parallel err %v)", serialErr, parErr)
+	refRes, refErr := runWith(1, true)
+	serialRes, serialErr := runWith(1, false)
+	parRes, parErr := runWith(4, false)
+	if refErr == nil || serialErr == nil || parErr == nil {
+		t.Fatalf("unordered trace accepted (reference err %v, serial err %v, parallel err %v)",
+			refErr, serialErr, parErr)
+	}
+	if serialErr.Error() != refErr.Error() {
+		t.Errorf("error diverged:\nper-request: %v\ncolumns:     %v", refErr, serialErr)
 	}
 	if serialErr.Error() != parErr.Error() {
 		t.Errorf("error diverged:\nserial:   %v\nparallel: %v", serialErr, parErr)
 	}
+	diffResults(t, "partial result columns vs per-request", serialRes, refRes)
 	diffResults(t, "partial result parallel vs serial", parRes, serialRes)
 }
 
@@ -176,6 +200,13 @@ func BenchmarkEnginePodParallel(b *testing.B) {
 
 	for _, shards := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			if shards > 1 && runtime.GOMAXPROCS(0) == 1 {
+				// With one P the forced-shard variants measure nothing but
+				// goroutine barrier overhead on a machine that cannot run
+				// the workers concurrently; the numbers would only pollute
+				// bench baselines collected on parallel hardware.
+				b.Skip("GOMAXPROCS=1: forced-shard variant would serialize; skipping")
+			}
 			bk := newBackend()
 			e := New(bk, core.MustNew(core.DefaultConfig(), bk))
 			e.Shards = shards

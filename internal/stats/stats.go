@@ -57,6 +57,25 @@ func (a *Accum) Note(arrival clock.Time, done clock.Time) {
 	}
 }
 
+// NoteColumn records a dense column of serviced requests — arrivals[i]
+// paired with done[i] — in one pass, accumulating into locals so the
+// engine's batched paths pay the struct write once per column instead of
+// once per request. Equivalent to calling Note for each pair in order.
+func (a *Accum) NoteColumn(arrivals, done []clock.Time) {
+	if len(arrivals) != len(done) {
+		panic("stats: NoteColumn column length mismatch")
+	}
+	stall, span := a.TotalStall, a.Span
+	for i, d := range done {
+		stall += d - arrivals[i]
+		if d > span {
+			span = d
+		}
+	}
+	a.Requests += uint64(len(done))
+	a.TotalStall, a.Span = stall, span
+}
+
 // Merge folds another shard's tallies into a.
 func (a *Accum) Merge(b Accum) {
 	a.Requests += b.Requests

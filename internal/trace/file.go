@@ -58,21 +58,29 @@ func Write(w io.Writer, s Stream) (int, error) {
 	return len(reqs), bw.Flush()
 }
 
+// headerBytes is the fixed MPT1 header size: magic plus request count.
+const headerBytes = 4 + 8
+
 // Read loads a binary trace from r into memory and returns it as a
-// resettable stream.
+// resettable stream. Malformed input fails with an error wrapping
+// ErrBadTrace that names the exact record index and byte offset where
+// decoding stopped, so a truncated or corrupt file is diagnosable
+// without a hex dump; underlying I/O errors stay inspectable through
+// errors.Is/As.
 func Read(r io.Reader) (*SliceStream, error) {
 	br := bufio.NewReader(r)
-	var hdr [4 + 8]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading header: %w", err)
+	var hdr [headerBytes]byte
+	if got, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: truncated header at byte offset %d (want %d header bytes, have %d): %w",
+			ErrBadTrace, got, headerBytes, got, err)
 	}
 	if string(hdr[:4]) != magic {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, hdr[:4])
+		return nil, fmt.Errorf("%w: bad magic %q at byte offset 0 (want %q)", ErrBadTrace, hdr[:4], magic)
 	}
 	n := binary.LittleEndian.Uint64(hdr[4:])
 	const maxReasonable = 1 << 32
 	if n > maxReasonable {
-		return nil, fmt.Errorf("%w: request count %d too large", ErrBadTrace, n)
+		return nil, fmt.Errorf("%w: request count %d at byte offset 4 too large (max %d)", ErrBadTrace, n, uint64(maxReasonable))
 	}
 	// Allocate incrementally: a corrupt header must not be able to demand
 	// an enormous up-front allocation — capacity grows only as record
@@ -85,8 +93,14 @@ func Read(r io.Reader) (*SliceStream, error) {
 	reqs := make([]Request, 0, capHint)
 	var rec [recordBytes]byte
 	for i := uint64(0); i < n; i++ {
-		if _, err := io.ReadFull(br, rec[:]); err != nil {
-			return nil, fmt.Errorf("%w: truncated at record %d: %v", ErrBadTrace, i, err)
+		off := headerBytes + i*recordBytes
+		if got, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("%w: truncated record %d of %d at byte offset %d (want %d record bytes, have %d): %w",
+				ErrBadTrace, i, n, off, recordBytes, got, err)
+		}
+		if flags := rec[16]; flags&^1 != 0 {
+			return nil, fmt.Errorf("%w: record %d at byte offset %d: unknown flag bits %#02x (only bit0=write is defined)",
+				ErrBadTrace, i, off+16, flags)
 		}
 		reqs = append(reqs, Request{
 			Addr:  binary.LittleEndian.Uint64(rec[0:]),
@@ -94,6 +108,14 @@ func Read(r io.Reader) (*SliceStream, error) {
 			Write: rec[16]&1 != 0,
 			Core:  rec[17],
 		})
+	}
+	// The count header is authoritative: bytes past the last record mean
+	// the file does not match its own header, so refuse it rather than
+	// silently dropping data.
+	if _, err := br.ReadByte(); err == nil {
+		return nil, fmt.Errorf("%w: trailing data after record %d at byte offset %d", ErrBadTrace, n, headerBytes+n*recordBytes)
+	} else if err != io.EOF {
+		return nil, fmt.Errorf("trace: reading past last record: %w", err)
 	}
 	return NewSliceStream(reqs), nil
 }

@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/clock"
+)
+
+// goodTrace builds a valid n-record MPT1 file.
+func goodTrace(t *testing.T, n int) []byte {
+	t.Helper()
+	reqs := make([]Request, n)
+	for i := range reqs {
+		reqs[i] = Request{Addr: uint64(64 * (i + 1)), Time: clock.Time(100 * i), Write: i%2 == 0, Core: uint8(i % 4)}
+	}
+	var buf bytes.Buffer
+	if _, err := Write(&buf, NewSliceStream(reqs)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestReadErrorPaths drives every malformed-input branch of Read through
+// a corruption table, checking that each failure wraps ErrBadTrace and
+// that its message names the record index / byte offset where decoding
+// stopped (the whole point of the hardened errors: diagnosable without a
+// hex dump).
+func TestReadErrorPaths(t *testing.T) {
+	good := goodTrace(t, 3)
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		want    []string // substrings the error must contain
+		ioCause error    // non-nil: the underlying I/O error must be wrapped too
+	}{
+		{
+			name:    "empty input",
+			mutate:  func(b []byte) []byte { return nil },
+			want:    []string{"truncated header", "offset 0"},
+			ioCause: io.EOF,
+		},
+		{
+			name:    "short header",
+			mutate:  func(b []byte) []byte { return b[:7] },
+			want:    []string{"truncated header", "offset 7", "want 12"},
+			ioCause: io.ErrUnexpectedEOF,
+		},
+		{
+			name:   "bad magic",
+			mutate: func(b []byte) []byte { b[0] = 'X'; return b },
+			want:   []string{"bad magic", `"XPT1"`, `want "MPT1"`},
+		},
+		{
+			name: "huge count",
+			mutate: func(b []byte) []byte {
+				for i := 4; i < 12; i++ {
+					b[i] = 0xff
+				}
+				return b[:12]
+			},
+			want: []string{"request count", "offset 4", "too large"},
+		},
+		{
+			name:    "no records after header",
+			mutate:  func(b []byte) []byte { return b[:headerBytes] },
+			want:    []string{"truncated record 0 of 3", "offset 12", "have 0"},
+			ioCause: io.EOF,
+		},
+		{
+			name:    "mid-record cut",
+			mutate:  func(b []byte) []byte { return b[:headerBytes+recordBytes+5] },
+			want:    []string{"truncated record 1 of 3", "offset 30", "have 5"},
+			ioCause: io.ErrUnexpectedEOF,
+		},
+		{
+			name: "unknown flag bits",
+			mutate: func(b []byte) []byte {
+				b[headerBytes+recordBytes+16] |= 0x80
+				return b
+			},
+			want: []string{"record 1", "offset 46", "flag bits 0x80"},
+		},
+		{
+			name:   "trailing data",
+			mutate: func(b []byte) []byte { return append(b, 0xaa) },
+			want:   []string{"trailing data after record 3", "offset 66"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := tc.mutate(append([]byte(nil), good...))
+			_, err := Read(bytes.NewReader(in))
+			if err == nil {
+				t.Fatal("Read accepted malformed input")
+			}
+			if !errors.Is(err, ErrBadTrace) {
+				t.Fatalf("error %v does not wrap ErrBadTrace", err)
+			}
+			for _, w := range tc.want {
+				if !strings.Contains(err.Error(), w) {
+					t.Errorf("error %q missing %q", err, w)
+				}
+			}
+			if tc.ioCause != nil && !errors.Is(err, tc.ioCause) {
+				t.Errorf("error %v does not wrap %v", err, tc.ioCause)
+			}
+		})
+	}
+}
+
+// TestReadAcceptsCleanBoundaries pins the accept side of the hardened
+// parser: a zero-record file and an exact-length file both parse.
+func TestReadAcceptsCleanBoundaries(t *testing.T) {
+	for _, n := range []int{0, 1, 3} {
+		s, err := Read(bytes.NewReader(goodTrace(t, n)))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if s.Len() != n {
+			t.Fatalf("n=%d: parsed %d records", n, s.Len())
+		}
+	}
+}

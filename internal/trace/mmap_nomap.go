@@ -1,0 +1,18 @@
+//go:build (!linux && !darwin) || nomap
+
+package trace
+
+import (
+	"errors"
+	"os"
+)
+
+const mapSupported = false
+
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return nil, errors.New("trace: mmap not supported in this build")
+}
+
+// munmapBytes is unreachable when mapSupported is false (no snapshot ever
+// carries a mapping), but Release still links against it.
+func munmapBytes(b []byte) {}

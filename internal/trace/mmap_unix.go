@@ -1,0 +1,25 @@
+//go:build (linux || darwin) && !nomap
+
+package trace
+
+import (
+	"os"
+	"syscall"
+)
+
+const mapSupported = true
+
+// mmapFile maps size bytes of f read-only. The mapping is private to the
+// process and survives the file descriptor being closed.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapBytes releases a mapping created by mmapFile. Unmap errors are
+// unrecoverable bookkeeping bugs (a bad address), so they panic rather
+// than silently leak address space.
+func munmapBytes(b []byte) {
+	if err := syscall.Munmap(b); err != nil {
+		panic("trace: munmap failed: " + err.Error())
+	}
+}

@@ -1,0 +1,234 @@
+//go:build (linux || darwin) && !nomap
+
+package trace
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/clock"
+)
+
+// planeWant computes the reference plane for a request slice.
+func planeWant(reqs []Request, g *addr.Geom) []Decoded {
+	want := make([]Decoded, len(reqs))
+	for i, r := range reqs {
+		want[i] = decodePlaneEntry(r.Addr, g)
+	}
+	return want
+}
+
+func timesWant(reqs []Request) []clock.Time {
+	want := make([]clock.Time, len(reqs))
+	for i, r := range reqs {
+		want[i] = r.Time
+	}
+	return want
+}
+
+// TestSidecarRoundTrip pins the store-backed derived-column lifecycle: the
+// first mapped open computes the plane and time column and persists them
+// as sidecars next to the snapshot file; the second open serves both from
+// mapped sidecar memory, bit-identical to the computed versions.
+func TestSidecarRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	l := addr.DefaultLayout()
+	g := l.Geom()
+	reqs := boundedReqs(rng, 500, l)
+	path := writeSnapFile(t, t.TempDir(), "wl", reqs)
+
+	s1, _, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPlane := planeWant(reqs, &g)
+	gotPlane := s1.Plane(&g)
+	for i := range wantPlane {
+		if gotPlane[i] != wantPlane[i] {
+			t.Fatalf("first open: plane[%d] = %+v, want %+v", i, gotPlane[i], wantPlane[i])
+		}
+	}
+	wantTimes := timesWant(reqs)
+	gotTimes := s1.TimeColumn()
+	for i := range wantTimes {
+		if gotTimes[i] != wantTimes[i] {
+			t.Fatalf("first open: times[%d] = %v, want %v", i, gotTimes[i], wantTimes[i])
+		}
+	}
+	s1.Release()
+
+	for _, p := range []string{planeSidecarPath(path, &g), timesSidecarPath(path)} {
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("sidecar %s not persisted: %v", p, err)
+		}
+	}
+
+	s2, _, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Release()
+	// The open itself adopts the times sidecar (it attests the varint
+	// column, replacing the O(n) validation).
+	if !s2.timeValid || s2.timeMapped == nil {
+		t.Error("second open did not adopt the times sidecar")
+	}
+	gotPlane = s2.Plane(&g)
+	if s2.planes[0].mapped == nil {
+		t.Error("second open did not serve the plane from its sidecar")
+	}
+	for i := range wantPlane {
+		if gotPlane[i] != wantPlane[i] {
+			t.Fatalf("sidecar plane[%d] = %+v, want %+v", i, gotPlane[i], wantPlane[i])
+		}
+	}
+	gotTimes = s2.TimeColumn()
+	for i := range wantTimes {
+		if gotTimes[i] != wantTimes[i] {
+			t.Fatalf("sidecar times[%d] = %v, want %v", i, gotTimes[i], wantTimes[i])
+		}
+	}
+}
+
+// TestSidecarStaleParentRejected regenerates the snapshot file under a
+// sidecar written for its previous content: the sidecar header's parent
+// size/mtime stamp must fail closed, and the derived columns must reflect
+// the new content.
+func TestSidecarStaleParentRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	l := addr.DefaultLayout()
+	g := l.Geom()
+	dir := t.TempDir()
+	oldReqs := boundedReqs(rng, 300, l)
+	path := writeSnapFile(t, dir, "wl", oldReqs)
+
+	s1, _, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Plane(&g)
+	s1.TimeColumn()
+	s1.Release()
+
+	// Regenerate the parent with different requests (same count, so a
+	// naive element-count check would still match) and force a distinct
+	// mtime even on coarse-granularity filesystems.
+	newReqs := boundedReqs(rng, 300, l)
+	tmp := writeSnapFile(t, dir, "wl2", newReqs)
+	if err := os.Rename(tmp, path); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(path, time.Now(), time.Now().Add(3*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, name, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Release()
+	if name != "wl2" {
+		t.Fatalf("reopened name %q", name)
+	}
+	wantPlane := planeWant(newReqs, &g)
+	gotPlane := s2.Plane(&g)
+	for i := range wantPlane {
+		if gotPlane[i] != wantPlane[i] {
+			t.Fatalf("stale sidecar served: plane[%d] = %+v, want %+v", i, gotPlane[i], wantPlane[i])
+		}
+	}
+	wantTimes := timesWant(newReqs)
+	gotTimes := s2.TimeColumn()
+	for i := range wantTimes {
+		if gotTimes[i] != wantTimes[i] {
+			t.Fatalf("stale sidecar served: times[%d] = %v, want %v", i, gotTimes[i], wantTimes[i])
+		}
+	}
+}
+
+// TestSidecarCorruptionRejected corrupts sidecar files in ways the header
+// alone would survive; the open-time checks (header fields, sample
+// re-decode) must reject each and recompute correct columns.
+func TestSidecarCorruptionRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	l := addr.DefaultLayout()
+	g := l.Geom()
+
+	corruptions := []struct {
+		name   string
+		mutate func(b []byte) []byte
+	}{
+		{"magic", func(b []byte) []byte { b[0] ^= 0xff; return b }},
+		{"element count", func(b []byte) []byte { b[24] ^= 0x01; return b }},
+		{"parent stamp", func(b []byte) []byte { b[40] ^= 0x01; return b }},
+		{"sampled body entry", func(b []byte) []byte { b[sidecarHdrSize] ^= 0xff; return b }},
+		{"truncated", func(b []byte) []byte { return b[:len(b)-8] }},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			reqs := boundedReqs(rng, 200, l)
+			path := writeSnapFile(t, t.TempDir(), "wl", reqs)
+			s1, _, err := OpenMapped(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s1.Plane(&g)
+			s1.TimeColumn()
+			s1.Release()
+
+			for _, sc := range []string{planeSidecarPath(path, &g), timesSidecarPath(path)} {
+				b, err := os.ReadFile(sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(sc, tc.mutate(b), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Mutating the sidecars must not disturb the parent stamp the
+			// rewritten sidecars will be validated against.
+			s2, _, err := OpenMapped(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s2.Release()
+			wantPlane := planeWant(reqs, &g)
+			gotPlane := s2.Plane(&g)
+			for i := range wantPlane {
+				if gotPlane[i] != wantPlane[i] {
+					t.Fatalf("plane[%d] = %+v, want %+v", i, gotPlane[i], wantPlane[i])
+				}
+			}
+			wantTimes := timesWant(reqs)
+			gotTimes := s2.TimeColumn()
+			for i := range wantTimes {
+				if gotTimes[i] != wantTimes[i] {
+					t.Fatalf("times[%d] = %v, want %v", i, gotTimes[i], wantTimes[i])
+				}
+			}
+		})
+	}
+}
+
+// TestGeomFingerprintDistinguishesLayouts guards the plane sidecar's
+// content key: distinct layouts must not share a fingerprint, or a plane
+// decoded under one geometry could serve another.
+func TestGeomFingerprintDistinguishesLayouts(t *testing.T) {
+	layouts := []addr.Layout{
+		addr.DefaultLayout(),
+		{FastBytes: 9 << 30, FastChannels: 8, NumPods: 4},
+		{SlowBytes: 9 << 30, SlowChannels: 4, NumPods: 4},
+	}
+	seen := map[uint64]int{}
+	for i, l := range layouts {
+		g := l.Geom()
+		fp := geomFingerprint(&g)
+		if j, dup := seen[fp]; dup {
+			t.Fatalf("layouts %d and %d share fingerprint %#x", j, i, fp)
+		}
+		seen[fp] = i
+	}
+}

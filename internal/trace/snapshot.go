@@ -34,11 +34,31 @@ import (
 // next Record; the caller must guarantee no cursor is still in use
 // (internal/tracecache's refcounting does exactly that).
 type Snapshot struct {
-	n      int
-	times  []byte   // uvarint deltas, first entry delta from time 0
-	addrs  []uint64 // one per request
-	writes []uint64 // bitset, one bit per request
-	cores  []byte   // one per request
+	n int
+	// All four columns are byte slices in exactly the MPS1 file layout
+	// (addrs as little-endian uint64s, writes as little-endian uint64
+	// bitset words), so a snapshot can be backed either by buffers Record
+	// owns or — zero-copy — by an OpenMapped file mapping. In the LE word
+	// layout, request i's write bit is bit i&7 of byte i>>3.
+	times  []byte // uvarint deltas, first entry delta from time 0
+	addrs  []byte // 8 bytes per request
+	writes []byte // bitset, 8*ceil(n/64) bytes
+	cores  []byte // one per request
+
+	// mapped is the whole file mapping when the snapshot came from
+	// OpenMapped; the columns alias it, Release unmaps it, and the
+	// snapshot never enters the recording pool. path is the mapped file's
+	// location, the anchor for plane sidecars ("" for heap snapshots).
+	mapped []byte
+	path   string
+
+	// shared marks columns that alias one shared backing buffer
+	// (ReadSnapshot slices all of them out of a single read buffer;
+	// parseSnapshotBytes out of the caller's byte slice). Such a snapshot
+	// must never enter the recording pool: Record reuses pooled column
+	// slices in place, and overlapping columns would overwrite each
+	// other. Release lets the GC reclaim these instead.
+	shared bool
 
 	// Predecode planes, one per address layout that asked (see Plane).
 	// Guarded by planeMu; the plane buffers recycle with the snapshot.
@@ -46,10 +66,13 @@ type Snapshot struct {
 	planes  []plane
 
 	// Decoded absolute timestamps (see TimeColumn), built lazily like the
-	// planes and likewise recycled. Guarded by timeMu.
-	timeMu    sync.Mutex
-	timeCol   []clock.Time
-	timeValid bool
+	// planes and likewise recycled — or served from a mapped sidecar
+	// (timeMapped non-nil), in which case the buffer aliases read-only
+	// file memory and Release unmaps it. Guarded by timeMu.
+	timeMu     sync.Mutex
+	timeCol    []clock.Time
+	timeValid  bool
+	timeMapped []byte
 }
 
 // Decoded is one entry of a snapshot's predecode plane: the page/pod/
@@ -69,11 +92,14 @@ type Decoded struct {
 
 // plane is one cached predecode plane and the layout it was decoded under.
 // Record invalidates planes but keeps their buffers, so a pooled snapshot's
-// next recording reuses the capacity.
+// next recording reuses the capacity. A plane served from a mapped sidecar
+// (mapped non-nil) aliases read-only file memory: its buffer is never
+// reused for computation, and Release unmaps it with the snapshot.
 type plane struct {
 	layout addr.Layout
 	valid  bool
 	dec    []Decoded
+	mapped []byte
 }
 
 // snapPool recycles snapshot buffers across recordings, the same idiom as
@@ -87,9 +113,9 @@ var snapPool = sync.Pool{New: func() any { return new(Snapshot) }}
 // half, and replaying yields the recorded requests bit-for-bit.
 func Record(s Stream, n int) *Snapshot {
 	snap := snapPool.Get().(*Snapshot)
-	if cap(snap.addrs) < n {
-		snap.addrs = make([]uint64, 0, n)
-		snap.writes = make([]uint64, 0, (n+63)/64)
+	if cap(snap.addrs) < 8*n {
+		snap.addrs = make([]byte, 0, 8*n)
+		snap.writes = make([]byte, 0, 8*((n+63)/64))
 		snap.cores = make([]byte, 0, n)
 	}
 	snap.times = snap.times[:0]
@@ -108,19 +134,19 @@ func Record(s Stream, n int) *Snapshot {
 	for snap.n < n && s.Next(&r) {
 		snap.times = binary.AppendUvarint(snap.times, uint64(r.Time)-uint64(prev))
 		prev = r.Time
-		snap.addrs = append(snap.addrs, r.Addr)
+		snap.addrs = binary.LittleEndian.AppendUint64(snap.addrs, r.Addr)
 		snap.cores = append(snap.cores, r.Core)
 		if r.Write {
 			wword |= 1 << (uint(snap.n) & 63)
 		}
 		snap.n++
 		if snap.n&63 == 0 {
-			snap.writes = append(snap.writes, wword)
+			snap.writes = binary.LittleEndian.AppendUint64(snap.writes, wword)
 			wword = 0
 		}
 	}
 	if snap.n&63 != 0 {
-		snap.writes = append(snap.writes, wword)
+		snap.writes = binary.LittleEndian.AppendUint64(snap.writes, wword)
 	}
 	return snap
 }
@@ -131,12 +157,39 @@ func (s *Snapshot) Len() int { return s.n }
 // Size returns the packed size in bytes, the resident cost of keeping the
 // snapshot cached.
 func (s *Snapshot) Size() int {
-	return len(s.times) + 8*len(s.addrs) + 8*len(s.writes) + len(s.cores)
+	return len(s.times) + len(s.addrs) + len(s.writes) + len(s.cores)
 }
 
-// Release returns the snapshot's buffers to the recording pool. The caller
+// Mapped reports whether the snapshot's columns alias a file mapping
+// (OpenMapped) rather than heap buffers.
+func (s *Snapshot) Mapped() bool { return s.mapped != nil }
+
+// Release returns the snapshot's buffers to the recording pool — or, for
+// a mapped snapshot, unmaps the file and discards the struct (mapped
+// column memory belongs to the kernel, never to the pool). The caller
 // must not use the snapshot — or any Stream cursor over it — afterwards.
 func (s *Snapshot) Release() {
+	for i := range s.planes {
+		if m := s.planes[i].mapped; m != nil {
+			s.planes[i] = plane{}
+			munmapBytes(m)
+		}
+	}
+	if m := s.timeMapped; m != nil {
+		s.timeMapped, s.timeCol, s.timeValid = nil, nil, false
+		munmapBytes(m)
+	}
+	if s.mapped != nil {
+		m := s.mapped
+		s.mapped, s.path, s.times, s.addrs, s.writes, s.cores, s.n = nil, "", nil, nil, nil, nil, 0
+		munmapBytes(m)
+		return
+	}
+	if s.shared {
+		// Aliased columns (ReadSnapshot's single read buffer) would
+		// corrupt the next Record if pooled; drop them to the GC.
+		return
+	}
 	snapPool.Put(s)
 }
 
@@ -146,6 +199,22 @@ func (s *Snapshot) Stream() *SnapshotStream {
 	return &SnapshotStream{snap: s}
 }
 
+// decodePlaneEntry is the per-address decode a plane is made of, shared
+// by Plane and the sidecar open's sample validation.
+func decodePlaneEntry(a uint64, g *addr.Geom) Decoded {
+	p := addr.PageOf(addr.Addr(a))
+	pod, f := g.HomeFrame(p)
+	loc := g.FrameLocation(pod, f, 0)
+	return Decoded{
+		Page:  uint64(p),
+		Frame: uint32(f),
+		Row:   uint32(loc.Row),
+		Chan:  uint16(loc.Channel),
+		Pod:   uint16(pod),
+		Line:  uint8(uint64(addr.LineOf(addr.Addr(a))) % addr.LinesPerPage),
+	}
+}
+
 // Plane returns the snapshot's predecode plane for g's layout, computing
 // it on first request: one Decoded entry per recorded request. Planes are
 // cached per layout (the experiment matrix mixes the standard two-level
@@ -153,6 +222,12 @@ func (s *Snapshot) Stream() *SnapshotStream {
 // layout share one decode pass; computation is single-flight under the
 // snapshot's lock. The returned slice is read-only and lives exactly as
 // long as the snapshot: Release recycles the plane buffers with it.
+//
+// For a snapshot mapped from a store file (OpenMapped), the plane itself
+// is store-backed: a valid sidecar next to the file maps in zero-copy,
+// and a computed plane persists as one for the next open — so steady-
+// state replay decodes each (workload, layout) pair once per store
+// lifetime, not once per batch.
 func (s *Snapshot) Plane(g *addr.Geom) []Decoded {
 	s.planeMu.Lock()
 	defer s.planeMu.Unlock()
@@ -171,26 +246,26 @@ func (s *Snapshot) Plane(g *addr.Geom) []Decoded {
 		slot = len(s.planes) - 1
 	}
 	pl := &s.planes[slot]
+	if s.path != "" {
+		if dec, m, ok := openPlaneSidecar(s.path, g, s.addrs, s.n); ok {
+			*pl = plane{layout: g.Layout, valid: true, dec: dec, mapped: m}
+			return dec
+		}
+	}
 	dec := pl.dec
-	if cap(dec) < s.n {
+	if cap(dec) < s.n || pl.mapped != nil {
 		dec = make([]Decoded, s.n)
 	} else {
 		dec = dec[:s.n]
 	}
-	for i, a := range s.addrs {
-		p := addr.PageOf(addr.Addr(a))
-		pod, f := g.HomeFrame(p)
-		loc := g.FrameLocation(pod, f, 0)
-		dec[i] = Decoded{
-			Page:  uint64(p),
-			Frame: uint32(f),
-			Row:   uint32(loc.Row),
-			Chan:  uint16(loc.Channel),
-			Pod:   uint16(pod),
-			Line:  uint8(uint64(addr.LineOf(addr.Addr(a))) % addr.LinesPerPage),
-		}
+	for i := 0; i < s.n; i++ {
+		a := binary.LittleEndian.Uint64(s.addrs[8*i:])
+		dec[i] = decodePlaneEntry(a, g)
 	}
-	pl.dec, pl.layout, pl.valid = dec, g.Layout, true
+	*pl = plane{layout: g.Layout, valid: true, dec: dec}
+	if s.path != "" {
+		writePlaneSidecar(s.path, g, dec)
+	}
 	return dec
 }
 
@@ -198,15 +273,23 @@ func (s *Snapshot) Plane(g *addr.Geom) []Decoded {
 // decoding the varint deltas once on first request. Like Plane, the column
 // is shared by every cursor over the snapshot (single-flight under a lock)
 // and its buffer recycles with the snapshot, so the six mechanism cells
-// replaying one workload pay one decode pass instead of six.
+// replaying one workload pay one decode pass instead of six — and for a
+// store-mapped snapshot the column is itself store-backed via a mapped
+// sidecar, so steady-state opens pay none at all.
 func (s *Snapshot) TimeColumn() []clock.Time {
 	s.timeMu.Lock()
 	defer s.timeMu.Unlock()
 	if s.timeValid {
 		return s.timeCol
 	}
+	if s.path != "" {
+		if col, m, ok := openTimesSidecar(s.path, s.times, s.n); ok {
+			s.timeCol, s.timeValid, s.timeMapped = col, true, m
+			return col
+		}
+	}
 	col := s.timeCol
-	if cap(col) < s.n {
+	if cap(col) < s.n || s.timeMapped != nil {
 		col = make([]clock.Time, s.n)
 	} else {
 		col = col[:s.n]
@@ -230,6 +313,9 @@ func (s *Snapshot) TimeColumn() []clock.Time {
 		col[i] = now
 	}
 	s.timeCol, s.timeValid = col, true
+	if s.path != "" {
+		writeTimesSidecar(s.path, col)
+	}
 	return col
 }
 
@@ -280,9 +366,9 @@ func (ss *SnapshotStream) Next(r *Request) bool {
 		ss.now += clock.Time(delta)
 		r.Time = ss.now
 	}
-	r.Addr = s.addrs[ss.pos]
+	r.Addr = binary.LittleEndian.Uint64(s.addrs[8*ss.pos:])
 	r.Core = s.cores[ss.pos]
-	r.Write = s.writes[ss.pos>>6]&(1<<(uint(ss.pos)&63)) != 0
+	r.Write = s.writes[ss.pos>>3]>>(uint(ss.pos)&7)&1 != 0
 	ss.pos++
 	return true
 }
@@ -337,6 +423,84 @@ func (ss *SnapshotStream) NextBatchShared(dst []Request) (int, []Decoded) {
 	return n, ss.dec[base : base+n]
 }
 
+// SpanColumns is a zero-copy columnar view of a contiguous run of
+// requests: the decoded arrival times and predecode plane sliced to the
+// span, plus accessors over the snapshot's packed write-bit and address
+// columns. It is what the engine's column path consumes instead of
+// materialized Request structs — every field a mechanism needs is already
+// a decoded column, so building 24-byte Requests per access is pure
+// overhead there.
+type SpanColumns struct {
+	Times []clock.Time // arrival times, len = span
+	Dec   []Decoded    // predecode plane entries, len = span
+	Cores []byte       // issuing cores, len = span
+
+	writes []byte // whole write bitset (LE word layout)
+	addrs  []byte // whole address column (LE u64s)
+	base   int    // global index of Times[0]
+}
+
+// Len returns the number of requests in the span.
+func (sc *SpanColumns) Len() int { return len(sc.Times) }
+
+// Write reports whether request i of the span is a write.
+func (sc *SpanColumns) Write(i int) bool {
+	p := sc.base + i
+	return sc.writes[p>>3]>>(uint(p)&7)&1 != 0
+}
+
+// Addr returns the address of request i of the span.
+func (sc *SpanColumns) Addr(i int) uint64 {
+	return binary.LittleEndian.Uint64(sc.addrs[8*(sc.base+i):])
+}
+
+// Request materializes request i of the span, for per-request fallback
+// paths inside column accessors (bookkeeping-cache configurations).
+func (sc *SpanColumns) Request(i int) Request {
+	return Request{
+		Time:  sc.Times[i],
+		Addr:  sc.Addr(i),
+		Write: sc.Write(i),
+		Core:  sc.Cores[i],
+	}
+}
+
+// ColumnStream is implemented by streams that can serve their requests as
+// zero-copy spans of decoded columns (SpanColumns). HasColumns reports
+// whether NextSpan can produce spans at all; NextSpan returns the next at
+// most max requests (max <= 0 for no cap) as a span, empty at end of
+// stream, advancing the same cursor Next and NextBatch use.
+type ColumnStream interface {
+	HasColumns() bool
+	NextSpan(max int) SpanColumns
+}
+
+// HasColumns implements ColumnStream: spans require both the predecode
+// plane and the decoded time column (DecodedStream binds both).
+func (ss *SnapshotStream) HasColumns() bool { return ss.dec != nil && ss.times != nil }
+
+// NextSpan implements ColumnStream.
+func (ss *SnapshotStream) NextSpan(max int) SpanColumns {
+	s := ss.snap
+	n := s.n - ss.pos
+	if n <= 0 || !ss.HasColumns() {
+		return SpanColumns{}
+	}
+	if max > 0 && n > max {
+		n = max
+	}
+	base := ss.pos
+	ss.pos = base + n
+	return SpanColumns{
+		Times:  ss.times[base : base+n],
+		Dec:    ss.dec[base : base+n],
+		Cores:  s.cores[base : base+n],
+		writes: s.writes,
+		addrs:  s.addrs,
+		base:   base,
+	}
+}
+
 // fillBatch advances the cursor by up to len(dst) requests, writing them
 // into dst, and returns the count.
 func (ss *SnapshotStream) fillBatch(dst []Request) int {
@@ -350,8 +514,10 @@ func (ss *SnapshotStream) fillBatch(dst []Request) int {
 	}
 	base := ss.pos
 	// Hoist the column slices so the per-request body indexes with
-	// compiler-visible bounds.
-	addrs := s.addrs[base : base+n]
+	// compiler-visible bounds. Addr reads go through the little-endian
+	// byte column: byte-aligned loads, safe on mapped memory under the
+	// race detector's checkptr.
+	addrs := s.addrs[8*base : 8*(base+n)]
 	cores := s.cores[base : base+n]
 	writes := s.writes
 	if ss.times != nil {
@@ -360,9 +526,9 @@ func (ss *SnapshotStream) fillBatch(dst []Request) int {
 		for i := 0; i < n; i++ {
 			p := base + i
 			dst[i] = Request{
-				Addr:  addrs[i],
+				Addr:  binary.LittleEndian.Uint64(addrs[8*i:]),
 				Time:  ts[i],
-				Write: writes[p>>6]&(1<<(uint(p)&63)) != 0,
+				Write: writes[p>>3]>>(uint(p)&7)&1 != 0,
 				Core:  cores[i],
 			}
 		}
@@ -387,9 +553,9 @@ func (ss *SnapshotStream) fillBatch(dst []Request) int {
 		now += clock.Time(delta)
 		p := base + i
 		dst[i] = Request{
-			Addr:  addrs[i],
+			Addr:  binary.LittleEndian.Uint64(addrs[8*i:]),
 			Time:  now,
-			Write: writes[p>>6]&(1<<(uint(p)&63)) != 0,
+			Write: writes[p>>3]>>(uint(p)&7)&1 != 0,
 			Core:  cores[i],
 		}
 	}
@@ -421,19 +587,13 @@ func WriteSnapshot(w io.Writer, name string, s *Snapshot) error {
 	if _, err := w.Write(hdr); err != nil {
 		return err
 	}
-	if _, err := w.Write(s.times); err != nil {
-		return err
+	// The columns are already in file layout; write them through directly.
+	for _, col := range [][]byte{s.times, s.addrs, s.writes, s.cores} {
+		if _, err := w.Write(col); err != nil {
+			return err
+		}
 	}
-	buf := make([]byte, 0, 8*len(s.addrs))
-	for _, a := range s.addrs {
-		buf = binary.LittleEndian.AppendUint64(buf, a)
-	}
-	for _, ww := range s.writes {
-		buf = binary.LittleEndian.AppendUint64(buf, ww)
-	}
-	buf = append(buf, s.cores...)
-	_, err := w.Write(buf)
-	return err
+	return nil
 }
 
 // ReadSnapshot loads a snapshot written by WriteSnapshot and returns it
@@ -464,7 +624,7 @@ func ReadSnapshot(r io.Reader) (*Snapshot, string, error) {
 		// Every request costs at least one varint byte.
 		return nil, "", fmt.Errorf("%w: times column shorter than request count", ErrBadTrace)
 	}
-	s := &Snapshot{n: int(n)}
+	s := &Snapshot{n: int(n), shared: true}
 	// Column bytes are buffered incrementally (bytes.Buffer grows as data
 	// arrives), so a corrupt header cannot demand an enormous up-front
 	// allocation — the same defense as the MPT1 reader.
@@ -477,30 +637,33 @@ func ReadSnapshot(r io.Reader) (*Snapshot, string, error) {
 	if err != nil {
 		return nil, "", fmt.Errorf("%w: truncated snapshot columns: %v", ErrBadTrace, err)
 	}
-	s.addrs = make([]uint64, n)
-	for i := range s.addrs {
-		s.addrs[i] = binary.LittleEndian.Uint64(buf[8*i:])
+	// The columns are stored in file layout, so they slice straight out of
+	// the read buffer with no re-encoding.
+	s.addrs = buf[:8*int(n)]
+	s.writes = buf[8*int(n) : 8*int(n)+8*words]
+	s.cores = buf[8*int(n)+8*words:]
+	if err := validateTimes(s.times, n); err != nil {
+		return nil, "", err
 	}
-	buf = buf[8*n:]
-	s.writes = make([]uint64, words)
-	for i := range s.writes {
-		s.writes[i] = binary.LittleEndian.Uint64(buf[8*i:])
-	}
-	s.cores = buf[8*words:]
-	// Validate the times column: exactly n complete varints, no trailing
-	// bytes, so a replay cursor can never index past the slice.
+	return s, string(nameBuf), nil
+}
+
+// validateTimes checks that a times column holds exactly n complete
+// varints with no trailing bytes, so a replay cursor can never index past
+// the slice.
+func validateTimes(times []byte, n uint64) error {
 	off := 0
 	for i := uint64(0); i < n; i++ {
-		_, vn := binary.Uvarint(s.times[off:])
+		_, vn := binary.Uvarint(times[off:])
 		if vn <= 0 {
-			return nil, "", fmt.Errorf("%w: corrupt times column at request %d", ErrBadTrace, i)
+			return fmt.Errorf("%w: corrupt times column at request %d", ErrBadTrace, i)
 		}
 		off += vn
 	}
-	if off != len(s.times) {
-		return nil, "", fmt.Errorf("%w: %d trailing bytes in times column", ErrBadTrace, len(s.times)-off)
+	if off != len(times) {
+		return fmt.Errorf("%w: %d trailing bytes in times column", ErrBadTrace, len(times)-off)
 	}
-	return s, string(nameBuf), nil
+	return nil
 }
 
 // readColumn reads exactly n bytes, growing the buffer only as bytes

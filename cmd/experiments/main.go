@@ -32,6 +32,8 @@ func main() {
 		only     = flag.String("only", "", "comma-separated experiment ids (e.g. fig8,table1)")
 		csvdir   = flag.String("csvdir", "", "directory to write per-experiment CSV files")
 		parallel = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+		fastSpec = flag.String("fast-spec", "", "fast-tier memory spec preset (default HBM; see mempod.Specs)")
+		slowSpec = flag.String("slow-spec", "", "slow-tier memory spec preset (default DDR4-1600)")
 		progress = flag.Bool("progress", false, "report per-cell progress on stderr")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -75,7 +77,8 @@ func main() {
 
 	for _, e := range selected {
 		start := time.Now()
-		opts := mempod.RunOptions{Scale: scale, Parallelism: *parallel}
+		opts := mempod.RunOptions{Scale: scale, Parallelism: *parallel,
+			FastSpec: *fastSpec, SlowSpec: *slowSpec}
 		if *progress {
 			e := e
 			opts.Progress = func(done, total int) {

@@ -25,19 +25,70 @@ import (
 	"repro/internal/runner"
 )
 
-// compareOrder is the mechanism order of -compare output.
-var compareOrder = []mempod.Mechanism{
-	mempod.MechTLM, mempod.MechMemPod, mempod.MechHMA,
-	mempod.MechTHM, mempod.MechCAMEO, mempod.MechHBMOnly,
+// compareOrder derives the -compare mechanism set from the facade's
+// registry: the no-migration TLM baseline first (the normalization base),
+// then every migration mechanism in registry order, then HBM-only.
+// DDR-only is omitted — it is Figure 10's normalization base, not a
+// Figure 8 column.
+func compareOrder() []mempod.Mechanism {
+	order := []mempod.Mechanism{mempod.MechTLM}
+	for _, m := range mempod.Mechanisms() {
+		switch m {
+		case mempod.MechTLM, mempod.MechHBMOnly, mempod.MechDDROnly:
+			continue
+		}
+		order = append(order, m)
+	}
+	return append(order, mempod.MechHBMOnly)
+}
+
+// validMechanism checks -mech against the registry so an unknown name
+// fails here with the full list instead of deep inside the run.
+func validMechanism(name string) error {
+	for _, m := range mempod.Mechanisms() {
+		if string(m) == name {
+			return nil
+		}
+	}
+	names := make([]string, len(mempod.Mechanisms()))
+	for i, m := range mempod.Mechanisms() {
+		names[i] = string(m)
+	}
+	return fmt.Errorf("unknown mechanism %q (valid: %s)", name, strings.Join(names, ", "))
+}
+
+// parseSpecPair splits a -spec value "FAST+SLOW" (either side may be
+// empty to keep its default) and validates both names against the dram
+// preset registry, so typos fail before any simulation runs.
+func parseSpecPair(v string) (fast, slow string, err error) {
+	if v == "" {
+		return "", "", nil
+	}
+	parts := strings.Split(v, "+")
+	if len(parts) != 2 {
+		return "", "", fmt.Errorf("-spec must be FAST+SLOW (e.g. HBM2+DDR5-4800; presets: %s)",
+			strings.Join(mempod.Specs(), ", "))
+	}
+	fast, slow = parts[0], parts[1]
+	for _, name := range []string{fast, slow} {
+		if name == "" {
+			continue
+		}
+		if err := mempod.CheckSpec(name); err != nil {
+			return "", "", err
+		}
+	}
+	return fast, slow, nil
 }
 
 func main() {
 	var (
 		wl       = flag.String("workload", "mix1", "workload name (see -list)")
-		mechName = flag.String("mech", "MemPod", "mechanism: MemPod, HMA, THM, CAMEO, TLM, HBM-only, DDR-only")
+		mechName = flag.String("mech", "MemPod", "mechanism: MemPod, HMA, THM, CAMEO, Migrant, TLM, HBM-only, DDR-only")
 		requests = flag.Int("requests", 1_000_000, "trace length")
 		seed     = flag.Int64("seed", 42, "trace seed")
 		future   = flag.Bool("future", false, "use 4GHz HBM + DDR4-2400 (§6.3.4)")
+		specPair = flag.String("spec", "", "memory specs as FAST+SLOW presets, e.g. HBM2+DDR5-4800 or HBM+NVM (see -list)")
 		interval = flag.Int("mempod-interval-us", 0, "MemPod epoch in µs (0 = paper default 50)")
 		counters = flag.Int("mempod-counters", 0, "MEA counters per pod (0 = paper default 64)")
 		bits     = flag.Int("mempod-bits", 0, "MEA counter width (0 = paper default 2)")
@@ -66,8 +117,27 @@ func main() {
 	}()
 
 	if *list {
-		fmt.Println(strings.Join(mempod.Workloads(), "\n"))
+		fmt.Println("workloads:")
+		fmt.Println("  " + strings.Join(mempod.Workloads(), "\n  "))
+		names := make([]string, len(mempod.Mechanisms()))
+		for i, m := range mempod.Mechanisms() {
+			names[i] = string(m)
+		}
+		fmt.Println("mechanisms:")
+		fmt.Println("  " + strings.Join(names, "\n  "))
+		fmt.Println("memory specs (use -spec FAST+SLOW):")
+		fmt.Println("  " + strings.Join(mempod.Specs(), "\n  "))
 		return
+	}
+
+	if err := validMechanism(*mechName); err != nil {
+		fmt.Fprintln(os.Stderr, "mempodsim:", err)
+		os.Exit(1)
+	}
+	fastSpec, slowSpec, err := parseSpecPair(*specPair)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mempodsim:", err)
+		os.Exit(1)
 	}
 
 	// Resolve a recorded trace when one is loaded, saved, or shared across
@@ -85,7 +155,7 @@ func main() {
 	}
 
 	if *compare {
-		if err := runCompare(tr, *requests, *seed, *future, *parallel, podShards); err != nil {
+		if err := runCompare(tr, *requests, *seed, *future, fastSpec, slowSpec, *parallel, podShards); err != nil {
 			fmt.Fprintln(os.Stderr, "mempodsim:", err)
 			os.Exit(1)
 		}
@@ -97,6 +167,8 @@ func main() {
 		Requests:       *requests,
 		Seed:           *seed,
 		FutureMemories: *future,
+		FastSpec:       fastSpec,
+		SlowSpec:       slowSpec,
 		MemPod: mempod.MemPodOptions{
 			Interval:    mempod.Duration(*interval) * mempod.Microsecond,
 			Counters:    *counters,
@@ -225,15 +297,17 @@ func parsePodsParallel(v string) (int, error) {
 // simulator state; only the immutable snapshot is shared). In auto mode,
 // CPUs left over by the mechanism pool go to each run's pod-parallel
 // engine, so -j 1 on a big machine still uses the whole machine.
-func runCompare(tr *mempod.Trace, requests int, seed int64, future bool, parallelism, podShards int) error {
+func runCompare(tr *mempod.Trace, requests int, seed int64, future bool, fastSpec, slowSpec string, parallelism, podShards int) error {
+	order := compareOrder()
 	if podShards == 0 {
-		podShards = runner.PerTaskParallelism(parallelism, len(compareOrder))
+		podShards = runner.PerTaskParallelism(parallelism, len(order))
 	}
-	tasks := make([]runner.Task[mempod.Result], len(compareOrder))
-	for i, m := range compareOrder {
+	tasks := make([]runner.Task[mempod.Result], len(order))
+	for i, m := range order {
 		m := m
 		o := mempod.Options{Mechanism: m, Requests: requests, Seed: seed,
-			FutureMemories: future, PodShards: podShards}
+			FutureMemories: future, FastSpec: fastSpec, SlowSpec: slowSpec,
+			PodShards: podShards}
 		if m == mempod.MechHMA {
 			// Scale HMA to the trace length (see EXPERIMENTS.md).
 			o.HMA = mempod.HMAOptions{
@@ -252,14 +326,14 @@ func runCompare(tr *mempod.Trace, requests int, seed int64, future bool, paralle
 		return err
 	}
 	var base mempod.Result
-	for i, m := range compareOrder {
+	for i, m := range order {
 		if m == mempod.MechTLM {
 			base = results[i].Value
 		}
 	}
 	fmt.Printf("%-10s %12s %12s %12s %12s\n",
 		"mechanism", "AMMAT (ns)", "normalized", "fast %", "moved MB")
-	for i, m := range compareOrder {
+	for i, m := range order {
 		res := results[i].Value
 		fmt.Printf("%-10s %12.2f %12.3f %11.1f%% %12.1f\n",
 			m, res.AMMAT(), res.Normalized(base), 100*res.FastServiceFraction(),

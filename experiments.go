@@ -1,6 +1,7 @@
 package mempod
 
 import (
+	"repro/internal/dram"
 	"repro/internal/exp"
 	"repro/internal/report"
 )
@@ -40,22 +41,26 @@ type Experiment string
 
 // All experiments of the paper's evaluation.
 const (
-	Fig1   Experiment = "fig1"   // MEA counting accuracy vs FC
-	Fig2   Experiment = "fig2"   // MEA vs FC future prediction (averages)
-	Fig3   Experiment = "fig3"   // MEA vs FC prediction, selected workloads
-	Fig6   Experiment = "fig6"   // epoch x counters design space
-	Fig7   Experiment = "fig7"   // counter width sensitivity
-	Fig8   Experiment = "fig8"   // mechanism comparison
-	Fig9   Experiment = "fig9"   // bookkeeping-cache sensitivity
-	Fig10  Experiment = "fig10"  // future-technology scalability
-	Table1 Experiment = "table1" // building-block comparison
-	Table2 Experiment = "table2" // system configuration
-	Table3 Experiment = "table3" // mixed workloads
+	Fig1  Experiment = "fig1"  // MEA counting accuracy vs FC
+	Fig2  Experiment = "fig2"  // MEA vs FC future prediction (averages)
+	Fig3  Experiment = "fig3"  // MEA vs FC prediction, selected workloads
+	Fig6  Experiment = "fig6"  // epoch x counters design space
+	Fig7  Experiment = "fig7"  // counter width sensitivity
+	Fig8  Experiment = "fig8"  // mechanism comparison
+	Fig9  Experiment = "fig9"  // bookkeeping-cache sensitivity
+	Fig10 Experiment = "fig10" // future-technology scalability
+	// SpecGrid is this repository's extension beyond the paper: every
+	// mechanism (including the OS-assisted Migrant policy) over several
+	// memory-spec pairs from the dram preset registry.
+	SpecGrid Experiment = "specgrid"
+	Table1   Experiment = "table1" // building-block comparison
+	Table2   Experiment = "table2" // system configuration
+	Table3   Experiment = "table3" // mixed workloads
 )
 
 // Experiments lists every regenerable table and figure in paper order.
 func Experiments() []Experiment {
-	return []Experiment{Fig1, Fig2, Fig3, Table1, Table2, Table3, Fig6, Fig7, Fig8, Fig9, Fig10}
+	return []Experiment{Fig1, Fig2, Fig3, Table1, Table2, Table3, Fig6, Fig7, Fig8, Fig9, Fig10, SpecGrid}
 }
 
 // RunOptions tunes how an experiment executes, not what it simulates.
@@ -68,6 +73,12 @@ type RunOptions struct {
 	Parallelism int
 	// Progress, when non-nil, observes cell completion (done of total).
 	Progress func(done, total int)
+	// FastSpec/SlowSpec name dram preset specs (see Specs()) for the
+	// baseline experiments' memory levels; empty selects the paper pair.
+	// Fig10 (defined as the future pair) and SpecGrid (which sweeps its
+	// own pairs) ignore them.
+	FastSpec string
+	SlowSpec string
 }
 
 // RunExperiment regenerates one table or figure of the paper at the given
@@ -84,6 +95,15 @@ func RunExperimentOpts(e Experiment, opts RunOptions) (*Table, error) {
 	cfg := expConfig(e, opts.Scale)
 	cfg.Parallelism = opts.Parallelism
 	cfg.Progress = opts.Progress
+	if opts.FastSpec != "" || opts.SlowSpec != "" {
+		if _, err := dram.Preset(firstNonEmpty(opts.FastSpec, "HBM")); err != nil {
+			return nil, err
+		}
+		if _, err := dram.Preset(firstNonEmpty(opts.SlowSpec, "DDR4-1600")); err != nil {
+			return nil, err
+		}
+		cfg.FastSpec, cfg.SlowSpec = opts.FastSpec, opts.SlowSpec
+	}
 	var t *report.Table
 	var err error
 	switch e {
@@ -103,6 +123,8 @@ func RunExperimentOpts(e Experiment, opts RunOptions) (*Table, error) {
 		t, err = cfg.Fig9()
 	case Fig10:
 		t, err = cfg.Fig10()
+	case SpecGrid:
+		t, err = cfg.SpecGrid()
 	case Table1:
 		t = exp.Table1()
 	case Table2:
@@ -133,13 +155,20 @@ func expConfig(e Experiment, scale ExperimentScale) exp.Config {
 	// Sweeps multiply run counts by 30+; bound them to the subset even at
 	// full scale, as documented in EXPERIMENTS.md.
 	switch e {
-	case Fig6, Fig7, Fig9:
+	case Fig6, Fig7, Fig9, SpecGrid:
 		cfg = cfg.WithWorkloads(SweepWorkloads...)
 		if scale == Full {
 			cfg.Requests = 1_000_000
 		}
 	}
 	return cfg
+}
+
+func firstNonEmpty(s, fallback string) string {
+	if s != "" {
+		return s
+	}
+	return fallback
 }
 
 type errUnknownExperiment Experiment

@@ -61,6 +61,15 @@ type Layout struct {
 	FastChannels int    // number of fast-memory controllers
 	SlowChannels int    // number of slow-memory controllers
 	NumPods      int    // number of pods clustering the controllers
+
+	// FastRowBytes/SlowRowBytes override the per-level DRAM row-buffer
+	// size (0 selects the paper's RowBytes). Row size determines how many
+	// consecutive page slots share a row (the migration co-location
+	// effect), so it is part of the physical address map — and therefore
+	// of trace-plane and sidecar identity (see trace geomFingerprint).
+	// memsys.New fills these from the channel specs.
+	FastRowBytes uint64
+	SlowRowBytes uint64
 }
 
 // DefaultLayout is the paper's baseline configuration (Table 2, Figure 4):
@@ -87,7 +96,15 @@ func (l Layout) Validate() error {
 	if l.TotalBytes() == 0 {
 		return fmt.Errorf("addr: memory has zero capacity")
 	}
-	check := func(level string, bytes uint64, channels int) error {
+	check := func(level string, bytes uint64, channels int, rowBytes uint64) error {
+		if rowBytes != 0 {
+			switch {
+			case rowBytes&(rowBytes-1) != 0:
+				return fmt.Errorf("addr: %s row size %d not a power of two", level, rowBytes)
+			case rowBytes < PageBytes:
+				return fmt.Errorf("addr: %s row size %d smaller than a %d-byte page", level, rowBytes, PageBytes)
+			}
+		}
 		if bytes == 0 {
 			if channels != 0 {
 				return fmt.Errorf("addr: %s memory has %d channels but zero capacity", level, channels)
@@ -106,10 +123,27 @@ func (l Layout) Validate() error {
 		}
 		return nil
 	}
-	if err := check("fast", l.FastBytes, l.FastChannels); err != nil {
+	if err := check("fast", l.FastBytes, l.FastChannels, l.FastRowBytes); err != nil {
 		return err
 	}
-	return check("slow", l.SlowBytes, l.SlowChannels)
+	return check("slow", l.SlowBytes, l.SlowChannels, l.SlowRowBytes)
+}
+
+// FastPagesPerRow returns how many page slots share a fast-memory row
+// (FastRowBytes, defaulting to the paper's RowBytes when zero).
+func (l Layout) FastPagesPerRow() uint64 {
+	if l.FastRowBytes == 0 {
+		return PagesPerRow
+	}
+	return l.FastRowBytes / PageBytes
+}
+
+// SlowPagesPerRow returns how many page slots share a slow-memory row.
+func (l Layout) SlowPagesPerRow() uint64 {
+	if l.SlowRowBytes == 0 {
+		return PagesPerRow
+	}
+	return l.SlowRowBytes / PageBytes
 }
 
 // TwoLevel reports whether both memory levels are populated, which every
@@ -210,31 +244,33 @@ type Location struct {
 //
 // Within a pod, fast frames interleave round-robin over the pod's fast
 // channels; slow frames over its slow channels. Within a channel,
-// consecutive frames fill consecutive page slots, PagesPerRow frames per
-// row, so pages migrated together into neighbouring frames share DRAM rows
-// — the co-location effect behind the paper's libquantum row-buffer
-// observation.
+// consecutive frames fill consecutive page slots, a row's worth of frames
+// per row (the level's pages-per-row), so pages migrated together into
+// neighbouring frames share DRAM rows — the co-location effect behind the
+// paper's libquantum row-buffer observation.
 func (l Layout) FrameLocation(pod int, f Frame, li int) Location {
 	if l.IsFastFrame(f) {
 		cpp := l.FastChannelsPerPod()
 		ch := pod*cpp + int(uint32(f)%uint32(cpp))
 		slot := uint64(uint32(f) / uint32(cpp)) // page slot within channel
+		ppr := l.FastPagesPerRow()
 		return Location{
 			Channel: ch,
 			Fast:    true,
-			Row:     slot / PagesPerRow,
-			Col:     uint32(slot%PagesPerRow)*LinesPerPage + uint32(li),
+			Row:     slot / ppr,
+			Col:     uint32(slot%ppr)*LinesPerPage + uint32(li),
 		}
 	}
 	sf := uint32(f) - l.FastPagesPerPod()
 	cpp := l.SlowChannelsPerPod()
 	ch := l.FastChannels + pod*cpp + int(sf%uint32(cpp))
 	slot := uint64(sf / uint32(cpp))
+	ppr := l.SlowPagesPerRow()
 	return Location{
 		Channel: ch,
 		Fast:    false,
-		Row:     slot / PagesPerRow,
-		Col:     uint32(slot%PagesPerRow)*LinesPerPage + uint32(li),
+		Row:     slot / ppr,
+		Col:     uint32(slot%ppr)*LinesPerPage + uint32(li),
 	}
 }
 

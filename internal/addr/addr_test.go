@@ -50,6 +50,8 @@ func TestValidateRejectsBadLayouts(t *testing.T) {
 		{FastBytes: 1000, SlowBytes: 8 << 30, FastChannels: 8, SlowChannels: 4, NumPods: 4},
 		{FastBytes: 0, SlowBytes: 8 << 30, FastChannels: 8, SlowChannels: 4, NumPods: 4},
 		{FastBytes: 1 << 30, SlowBytes: 8 << 30, FastChannels: 0, SlowChannels: 4, NumPods: 4},
+		{FastBytes: 1 << 30, SlowBytes: 8 << 30, FastChannels: 8, SlowChannels: 4, NumPods: 4, FastRowBytes: 3000},
+		{FastBytes: 1 << 30, SlowBytes: 8 << 30, FastChannels: 8, SlowChannels: 4, NumPods: 4, SlowRowBytes: 1024},
 		{},
 	}
 	for i, l := range bad {
@@ -176,6 +178,39 @@ func TestFastFrameRowColocation(t *testing.T) {
 	next := l.FrameLocation(0, Frame(PagesPerRow*cpp), 0)
 	if next.Row == base.Row {
 		t.Error("row did not advance after PagesPerRow frames")
+	}
+}
+
+// TestRowOverridePacking pins the effect of the per-level row-size
+// overrides: the number of consecutive same-channel frames sharing a DRAM
+// row is RowBytes/PageBytes for that level's override, not the default.
+func TestRowOverridePacking(t *testing.T) {
+	l := DefaultLayout()
+	l.FastRowBytes = 16384 // 8 pages per row
+	l.SlowRowBytes = 2048  // 1 page per row: no co-location at all
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cpp := l.FastChannelsPerPod()
+	base := l.FrameLocation(0, 0, 0)
+	for i := 1; i < 8; i++ {
+		if loc := l.FrameLocation(0, Frame(i*cpp), 0); loc.Row != base.Row {
+			t.Fatalf("fast frame %d: row %d, want %d (16 KB rows hold 8 pages)", i*cpp, loc.Row, base.Row)
+		}
+	}
+	if loc := l.FrameLocation(0, Frame(8*cpp), 0); loc.Row == base.Row {
+		t.Error("fast row did not advance after 8 frames")
+	}
+	// Slow frames: every same-channel step must advance the row.
+	scpp := l.SlowChannelsPerPod()
+	first := Frame(l.FastPagesPerPod())
+	s0 := l.FrameLocation(0, first, 0)
+	s1 := l.FrameLocation(0, first+Frame(scpp), 0)
+	if s0.Fast || s1.Fast {
+		t.Fatal("expected slow frames")
+	}
+	if s1.Channel != s0.Channel || s1.Row == s0.Row {
+		t.Fatalf("slow 2 KB rows must advance per frame: %+v then %+v", s0, s1)
 	}
 }
 

@@ -78,13 +78,15 @@ type Geom struct {
 	fastCPP int // fast channels per pod
 	slowCPP int
 
-	pods     div // NumPods
-	fastCh   div // FastChannels
-	slowCh   div // SlowChannels
-	dFastCPP div
-	dSlowCPP div
-	dFastPP  div // FastPagesPerPod
-	dSlowPP  div // SlowPagesPerPod
+	pods       div // NumPods
+	fastCh     div // FastChannels
+	slowCh     div // SlowChannels
+	dFastCPP   div
+	dSlowCPP   div
+	dFastPP    div // FastPagesPerPod
+	dSlowPP    div // SlowPagesPerPod
+	dFastRowPg div // FastPagesPerRow
+	dSlowRowPg div // SlowPagesPerRow
 }
 
 // Geom precomputes the layout's derived geometry. The layout should be
@@ -112,8 +114,16 @@ func (l Layout) Geom() Geom {
 	g.dSlowCPP = newDiv(uint64(g.slowCPP))
 	g.dFastPP = newDiv(uint64(g.fastPerPod))
 	g.dSlowPP = newDiv(uint64(g.slowPerPod))
+	g.dFastRowPg = newDiv(l.FastPagesPerRow())
+	g.dSlowRowPg = newDiv(l.SlowPagesPerRow())
 	return g
 }
+
+// FastPagesPerRowN returns FastPagesPerRow without recomputing it.
+func (g *Geom) FastPagesPerRowN() uint64 { return g.dFastRowPg.d }
+
+// SlowPagesPerRowN returns SlowPagesPerRow without recomputing it.
+func (g *Geom) SlowPagesPerRowN() uint64 { return g.dSlowRowPg.d }
 
 // IsFast mirrors Layout.IsFast.
 func (g *Geom) IsFast(p Page) bool { return uint64(p) < g.fastPages }
@@ -164,8 +174,8 @@ func (g *Geom) FrameLocation(pod int, f Frame, li int) Location {
 		return Location{
 			Channel: ch,
 			Fast:    true,
-			Row:     slot / PagesPerRow,
-			Col:     uint32(slot%PagesPerRow)*LinesPerPage + uint32(li),
+			Row:     g.dFastRowPg.div(slot),
+			Col:     uint32(g.dFastRowPg.mod(slot))*LinesPerPage + uint32(li),
 		}
 	}
 	sf := uint64(uint32(f) - g.fastPerPod)
@@ -174,8 +184,8 @@ func (g *Geom) FrameLocation(pod int, f Frame, li int) Location {
 	return Location{
 		Channel: ch,
 		Fast:    false,
-		Row:     slot / PagesPerRow,
-		Col:     uint32(slot%PagesPerRow)*LinesPerPage + uint32(li),
+		Row:     g.dSlowRowPg.div(slot),
+		Col:     uint32(g.dSlowRowPg.mod(slot))*LinesPerPage + uint32(li),
 	}
 }
 

@@ -15,6 +15,12 @@ func geomTestLayouts() []Layout {
 		{FastBytes: 1 << 28, SlowBytes: 1 << 30, FastChannels: 4, SlowChannels: 2, NumPods: 2},
 		{FastBytes: 3 * PageBytes * 3 * 64, SlowBytes: 9 * PageBytes * 3 * 64, FastChannels: 9, SlowChannels: 3, NumPods: 3}, // non-pow2 everything
 		{FastBytes: 6 * PageBytes * 256, SlowBytes: 12 * PageBytes * 256, FastChannels: 6, SlowChannels: 6, NumPods: 6},
+		// Spec-driven row-size overrides (LPDDR5's 2 KB rows, NVM's 4 KB
+		// rows, a 16 KB fast part) — the geometry the preset registry feeds
+		// through memsys.LayoutFor.
+		{FastBytes: 1 << 30, SlowBytes: 8 << 30, FastChannels: 8, SlowChannels: 4, NumPods: 4, SlowRowBytes: 4096},
+		{FastBytes: 1 << 30, SlowBytes: 8 << 30, FastChannels: 8, SlowChannels: 4, NumPods: 4, FastRowBytes: 16384, SlowRowBytes: 2048},
+		{FastBytes: 3 * PageBytes * 3 * 64, SlowBytes: 9 * PageBytes * 3 * 64, FastChannels: 9, SlowChannels: 3, NumPods: 3, FastRowBytes: 2048, SlowRowBytes: 4096},
 	}
 }
 

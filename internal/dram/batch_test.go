@@ -24,6 +24,15 @@ func batchSpecs() []Spec {
 		DDR4_1600().WithRefresh(),
 		closed,
 		nonPow2,
+		// Registry presets with behavior the paper pair never exercises:
+		// write asymmetry (NVM), a serial link in front of the channel
+		// (CXL), both together with refresh, and the small-row mobile part.
+		NVMPCM(),
+		CXLDDR5(),
+		NVMPCM().WithRefresh(),
+		CXLDDR5().WithRefresh(),
+		LPDDR5_6400(),
+		HBM3(),
 	}
 }
 

@@ -73,6 +73,8 @@ type Channel struct {
 	latConflict clock.Duration
 	ras         clock.Duration
 	rp          clock.Duration
+	writeExtra  clock.Duration // extra write service time (NVM asymmetry)
+	link        clock.Duration // one-way link traversal (CXL attach)
 
 	busFreeAt clock.Time
 	// nextRefresh is refreshNever when refresh is disabled, so the hot
@@ -106,6 +108,8 @@ func MakeChannel(spec Spec) Channel {
 		latConflict: spec.RowConflictLatency(),
 		ras:         spec.cycles(spec.RAS),
 		rp:          spec.cycles(spec.RP),
+		writeExtra:  spec.cycles(spec.WriteExtra),
+		link:        spec.LinkTime,
 	}
 	for i := range c.banks {
 		c.banks[i].openRow = -1
@@ -143,6 +147,12 @@ func (c *Channel) Stats() Stats {
 // bank-level parallelism; the row-within-bank keeps row-buffer locality for
 // addresses in the same 8 KB row.
 func (c *Channel) Access(row uint64, write bool, at clock.Time) clock.Time {
+	// Link-attached channels (CXL): the request reaches the device one
+	// link traversal after issue, and the completion returns one traversal
+	// after the device finishes. All device-side state (banks, bus,
+	// refresh) runs in device-arrival time.
+	at += c.link
+
 	// Refresh: every tREFI the channel stalls for tRFC with all rows
 	// closed. Catch up on all refresh windows the request time passed in
 	// one arithmetic step: successive windows only raise the same floor
@@ -197,6 +207,14 @@ func (c *Channel) Access(row uint64, write bool, at clock.Time) clock.Time {
 		b.activatedAt = start + c.rp
 		b.nextCmd = start + lat
 	}
+	if write && c.writeExtra > 0 {
+		// Asymmetric media (NVM): programming extends the write's service
+		// time and keeps the bank busy until it completes.
+		lat += c.writeExtra
+		if b.nextCmd < start+lat {
+			b.nextCmd = start + lat
+		}
+	}
 	if c.spec.Policy == ClosedPage {
 		// Auto-precharge: the next access to this bank starts from a
 		// closed row (its precharge overlaps the data transfer).
@@ -207,8 +225,9 @@ func (c *Channel) Access(row uint64, write bool, at clock.Time) clock.Time {
 
 	dataReady := start + lat
 	busStart := clock.Max(dataReady, c.busFreeAt)
-	done := busStart + c.burst
-	c.busFreeAt = done
+	fin := busStart + c.burst
+	c.busFreeAt = fin
+	done := fin + c.link
 
 	if write {
 		c.stats.Writes++
@@ -253,7 +272,7 @@ func (c *Channel) AccessBatch(reqs []BatchReq, done []clock.Time) {
 
 	for i := range reqs {
 		r := &reqs[i]
-		at := r.At
+		at := r.At + c.link
 		if at >= nextRefresh {
 			k := (at-nextRefresh)/c.spec.RefreshInterval + 1
 			refreshEnd := nextRefresh + clock.Duration(k-1)*c.spec.RefreshInterval + c.spec.RefreshTime
@@ -300,6 +319,12 @@ func (c *Channel) AccessBatch(reqs []BatchReq, done []clock.Time) {
 			b.activatedAt = start + c.rp
 			b.nextCmd = start + lat
 		}
+		if r.Write && c.writeExtra > 0 {
+			lat += c.writeExtra
+			if b.nextCmd < start+lat {
+				b.nextCmd = start + lat
+			}
+		}
 		if closedPage {
 			b.openRow = -1
 		} else {
@@ -310,15 +335,16 @@ func (c *Channel) AccessBatch(reqs []BatchReq, done []clock.Time) {
 		busStart := clock.Max(dataReady, busFreeAt)
 		fin := busStart + burst
 		busFreeAt = fin
+		ret := fin + c.link
 
 		if r.Write {
 			writes++
 		} else {
 			reads++
 		}
-		lastFinish = fin
-		if fin > done[r.Idx] {
-			done[r.Idx] = fin
+		lastFinish = ret
+		if ret > done[r.Idx] {
+			done[r.Idx] = ret
 		}
 	}
 

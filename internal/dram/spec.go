@@ -14,7 +14,11 @@
 package dram
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/fnv"
+	"io"
 
 	"repro/internal/clock"
 )
@@ -59,6 +63,17 @@ type Spec struct {
 	// AMMAT); enable it for absolute-latency studies.
 	RefreshInterval clock.Duration // tREFI (0 disables refresh)
 	RefreshTime     clock.Duration // tRFC
+
+	// WriteExtra is extra bus cycles added to a write's service latency,
+	// for media with asymmetric write cost (phase-change NVM). Zero (all
+	// DRAM specs) is bit-identical to the pre-asymmetry model.
+	WriteExtra int
+	// LinkTime is the one-way traversal latency of a serial link in front
+	// of the channel (CXL-attached memory): requests reach the device
+	// LinkTime after issue and data returns LinkTime after the device
+	// completes. Zero (directly attached) is bit-identical to the
+	// pre-link model.
+	LinkTime clock.Duration
 }
 
 // HBM returns the paper's stacked-memory spec: 1 GHz, 128-bit bus,
@@ -113,27 +128,80 @@ func DDR4_2400() Spec {
 	}
 }
 
+// Named validation errors. Validate wraps these with the offending spec's
+// name and values, so callers can match the failure class with errors.Is.
+var (
+	ErrBusFreq     = errors.New("dram: bus frequency must be positive")
+	ErrBusBits     = errors.New("dram: bus width must be a positive multiple of 8 bits")
+	ErrBanks       = errors.New("dram: bank count must be positive")
+	ErrRowBytes    = errors.New("dram: row size must be a power-of-two multiple of 64 bytes")
+	ErrTiming      = errors.New("dram: core timing parameters must be positive")
+	ErrTimingOrder = errors.New("dram: tCAS exceeds tRC (tRAS+tRP)")
+	ErrRefresh     = errors.New("dram: inconsistent refresh timing")
+	ErrWriteExtra  = errors.New("dram: write-extra cycles must be non-negative")
+	ErrLinkTime    = errors.New("dram: link latency must be non-negative")
+)
+
 // Validate checks internal consistency.
 func (s Spec) Validate() error {
 	switch {
 	case s.BusFreq <= 0:
-		return fmt.Errorf("dram %s: bus frequency %d", s.Name, s.BusFreq)
+		return fmt.Errorf("dram %s: bus frequency %d: %w", s.Name, s.BusFreq, ErrBusFreq)
 	case s.BusBits <= 0 || s.BusBits%8 != 0:
-		return fmt.Errorf("dram %s: bus width %d bits", s.Name, s.BusBits)
+		return fmt.Errorf("dram %s: bus width %d bits: %w", s.Name, s.BusBits, ErrBusBits)
 	case s.Banks <= 0:
-		return fmt.Errorf("dram %s: %d banks", s.Name, s.Banks)
-	case s.RowBytes <= 0 || s.RowBytes%64 != 0:
-		return fmt.Errorf("dram %s: row %d bytes", s.Name, s.RowBytes)
+		return fmt.Errorf("dram %s: %d banks: %w", s.Name, s.Banks, ErrBanks)
+	case s.RowBytes < 64 || s.RowBytes&(s.RowBytes-1) != 0:
+		return fmt.Errorf("dram %s: row %d bytes: %w", s.Name, s.RowBytes, ErrRowBytes)
 	case s.CAS <= 0 || s.RCD <= 0 || s.RP <= 0 || s.RAS <= 0:
-		return fmt.Errorf("dram %s: non-positive core timing", s.Name)
+		return fmt.Errorf("dram %s: non-positive core timing: %w", s.Name, ErrTiming)
+	case s.CAS > s.RAS+s.RP:
+		return fmt.Errorf("dram %s: tCAS %d > tRC %d: %w", s.Name, s.CAS, s.RAS+s.RP, ErrTimingOrder)
 	case s.RefreshInterval < 0 || s.RefreshTime < 0:
-		return fmt.Errorf("dram %s: negative refresh timing", s.Name)
+		return fmt.Errorf("dram %s: negative refresh timing: %w", s.Name, ErrRefresh)
 	case s.RefreshInterval > 0 && s.RefreshTime <= 0:
-		return fmt.Errorf("dram %s: refresh enabled with zero tRFC", s.Name)
+		return fmt.Errorf("dram %s: refresh enabled with zero tRFC: %w", s.Name, ErrRefresh)
 	case s.RefreshInterval > 0 && s.RefreshTime >= s.RefreshInterval:
-		return fmt.Errorf("dram %s: tRFC %v >= tREFI %v", s.Name, s.RefreshTime, s.RefreshInterval)
+		return fmt.Errorf("dram %s: tRFC %v >= tREFI %v: %w", s.Name, s.RefreshTime, s.RefreshInterval, ErrRefresh)
+	case s.WriteExtra < 0:
+		return fmt.Errorf("dram %s: write extra %d cycles: %w", s.Name, s.WriteExtra, ErrWriteExtra)
+	case s.LinkTime < 0:
+		return fmt.Errorf("dram %s: link latency %v: %w", s.Name, s.LinkTime, ErrLinkTime)
 	}
 	return nil
+}
+
+// Fingerprint returns a stable 64-bit identity of every modelled parameter
+// (FNV-1a over the printed struct). Two specs with equal fingerprints are
+// field-identical, so the fingerprint can key caches and file identities
+// the same way trace sidecars key on the layout's geometry.
+func (s Spec) Fingerprint() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", s)
+	return h.Sum64()
+}
+
+// MarshalJSON emits the spec with its exported fields; together with
+// LoadSpec it round-trips exactly (all fields are integers).
+func (s Spec) MarshalJSON() ([]byte, error) {
+	type plain Spec // avoid recursing into this method
+	return json.Marshal(plain(s))
+}
+
+// LoadSpec decodes a JSON spec (the serialized form of Spec's exported
+// fields, e.g. from MarshalJSON) and validates it. Unknown fields are
+// rejected so a typo'd parameter cannot silently fall back to zero.
+func LoadSpec(r io.Reader) (Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("dram: decoding spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
 }
 
 // WithRefresh returns a copy of the spec with refresh enabled using

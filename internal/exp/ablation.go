@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/core"
-	"repro/internal/dram"
 	"repro/internal/mech"
 	"repro/internal/report"
 	"repro/internal/stats"
@@ -22,8 +21,9 @@ var PodCounts = []int{1, 2, 4}
 // More pods mean more parallel migration drivers and more total MEA
 // entries (K per pod), at zero communication between pods.
 func (c Config) PodSweep() (*report.Table, error) {
+	fast, slow := c.specPair()
 	builders := []builder{{
-		name: "TLM", layout: stdLayout(), fast: dram.HBM(), slow: dram.DDR4_1600(),
+		name: "TLM", layout: stdLayout(), fast: fast, slow: slow,
 		make: func(b *mech.Backend) mech.Mechanism { return mech.NewStatic("TLM", b) },
 	}}
 	for _, pods := range PodCounts {
@@ -31,7 +31,7 @@ func (c Config) PodSweep() (*report.Table, error) {
 		layout.NumPods = pods
 		builders = append(builders, builder{
 			name:   fmt.Sprintf("MemPod/%dpod", pods),
-			layout: layout, fast: dram.HBM(), slow: dram.DDR4_1600(),
+			layout: layout, fast: fast, slow: slow,
 			make: func(b *mech.Backend) mech.Mechanism {
 				return core.MustNew(core.DefaultConfig(), b)
 			},
@@ -73,12 +73,13 @@ func (c Config) TrackerSweep() (*report.Table, error) {
 			return core.MustNew(cfg, b)
 		}
 	}
+	fast, slow := c.specPair()
 	builders := []builder{
-		{"TLM", stdLayout(), dram.HBM(), dram.DDR4_1600(), func(b *mech.Backend) mech.Mechanism {
+		{"TLM", stdLayout(), fast, slow, func(b *mech.Backend) mech.Mechanism {
 			return mech.NewStatic("TLM", b)
 		}},
-		{"MemPod", stdLayout(), dram.HBM(), dram.DDR4_1600(), mk(false)},
-		{"MemPod-FC", stdLayout(), dram.HBM(), dram.DDR4_1600(), mk(true)},
+		{"MemPod", stdLayout(), fast, slow, mk(false)},
+		{"MemPod-FC", stdLayout(), fast, slow, mk(true)},
 	}
 	res, err := c.matrix(builders)
 	if err != nil {

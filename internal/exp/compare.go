@@ -19,12 +19,13 @@ var fig8Order = []string{"MemPod", "HMA", "THM", "CAMEO", "HBM-only"}
 // normalized to the no-migration two-level memory (TLM), plus HG/MIX/ALL
 // averages and the migration volumes the paper discusses alongside it.
 func (c Config) Fig8() (*report.Table, error) {
-	res, err := c.matrix(c.baselineBuilders(dram.HBM(), dram.DDR4_1600()))
+	fast, slow := c.specPair()
+	res, err := c.matrix(c.baselineBuilders(fast, slow))
 	if err != nil {
 		return nil, err
 	}
 	return c.renderComparison("fig8",
-		"AMMAT normalized to no-migration TLM (1GB HBM + 8GB DDR4-1600)",
+		fmt.Sprintf("AMMAT normalized to no-migration TLM (1GB %s + 8GB %s)", fast.Name, slow.Name),
 		res, "TLM"), nil
 }
 
@@ -134,8 +135,9 @@ var Fig9Sizes = []int{16 << 10, 32 << 10, 64 << 10}
 // bookkeeping caches, normalized to the no-migration TLM, plus each
 // mechanism's cache-disabled reference.
 func (c Config) Fig9() (*report.Table, error) {
+	fast, slow := c.specPair()
 	builders := []builder{{
-		name: "TLM", layout: stdLayout(), fast: dram.HBM(), slow: dram.DDR4_1600(),
+		name: "TLM", layout: stdLayout(), fast: fast, slow: slow,
 		make: func(b *mech.Backend) mech.Mechanism { return mech.NewStatic("TLM", b) },
 	}}
 	mechs := []struct {
@@ -172,7 +174,7 @@ func (c Config) Fig9() (*report.Table, error) {
 				label = fmt.Sprintf("%s/%dKB", m.name, size>>10)
 			}
 			builders = append(builders, builder{
-				name: label, layout: stdLayout(), fast: dram.HBM(), slow: dram.DDR4_1600(),
+				name: label, layout: stdLayout(), fast: fast, slow: slow,
 				make: m.mk(size),
 			})
 		}

@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/core"
-	"repro/internal/dram"
 	"repro/internal/mech"
 	"repro/internal/report"
 )
@@ -29,12 +28,13 @@ type designPoint struct {
 // out to c.Parallelism workers at once — and returns one aggregated point
 // per configuration, in input order.
 func (c Config) runMemPodGrid(cfgs []core.Config) ([]designPoint, error) {
+	fast, slow := c.specPair()
 	builders := make([]builder, len(cfgs))
 	for i, mpCfg := range cfgs {
 		mpCfg := mpCfg
 		builders[i] = builder{
 			name:   fmt.Sprintf("MemPod#%d", i),
-			layout: stdLayout(), fast: dram.HBM(), slow: dram.DDR4_1600(),
+			layout: stdLayout(), fast: fast, slow: slow,
 			make:   func(bk *mech.Backend) mech.Mechanism { return core.MustNew(mpCfg, bk) },
 		}
 	}

@@ -1,7 +1,6 @@
 package exp
 
 import (
-	"repro/internal/dram"
 	"repro/internal/report"
 	"repro/internal/stats"
 )
@@ -12,7 +11,8 @@ import (
 // data-movement energy, the migration-interconnect component, and data
 // moved, averaged over the config's workloads.
 func (c Config) EnergyTable() (*report.Table, error) {
-	res, err := c.matrix(c.baselineBuilders(dram.HBM(), dram.DDR4_1600()))
+	fast, slow := c.specPair()
+	res, err := c.matrix(c.baselineBuilders(fast, slow))
 	if err != nil {
 		return nil, err
 	}

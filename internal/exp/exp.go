@@ -41,6 +41,13 @@ type Config struct {
 	// Workloads is the evaluated set (default: the paper's 27).
 	Workloads []workload.Workload
 
+	// FastSpec/SlowSpec name the memory specs (dram.Preset names) the
+	// baseline experiments run on; empty selects the paper pair
+	// (HBM + DDR4-1600). Fig10 ignores them — it is defined as the
+	// future-technology pair. Unknown names panic, like Workloads.
+	FastSpec string
+	SlowSpec string
+
 	// HMAInterval/HMASortStall/HMAMaxMigrations scale HMA to the trace
 	// length. The paper's 100 ms / 7 ms cannot fire even once inside a
 	// trace shorter than 100 ms of simulated time, so the default keeps
@@ -138,6 +145,20 @@ func selectWorkloads(names ...string) []workload.Workload {
 		out = append(out, w)
 	}
 	return out
+}
+
+// specPair resolves the config's named memory specs through the dram
+// preset registry, defaulting to the paper pair. Like selectWorkloads it
+// panics on unknown names (the registry error lists the valid options).
+func (c Config) specPair() (fast, slow dram.Spec) {
+	fastName, slowName := c.FastSpec, c.SlowSpec
+	if fastName == "" {
+		fastName = "HBM"
+	}
+	if slowName == "" {
+		slowName = "DDR4-1600"
+	}
+	return dram.MustPreset(fastName), dram.MustPreset(slowName)
 }
 
 // builder constructs a mechanism and the memory system it runs on.

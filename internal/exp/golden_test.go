@@ -65,6 +65,25 @@ func TestGoldenFig8(t *testing.T) {
 	checkGolden(t, "fig8", tab.String())
 }
 
+// TestGoldenSpecGrid pins the (mechanism × spec-pair) grid — every
+// migration mechanism including the OS-assisted Migrant policy, over the
+// paper pair, the DDR5 generation, the CXL far-memory pair and the
+// DRAM+NVM pair. This is the registry's coverage gate: a change to any
+// preset's parameters, to the spec-driven row geometry, or to any
+// mechanism's behaviour on a non-paper spec shows up here.
+func TestGoldenSpecGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix")
+	}
+	c := goldenConfig()
+	c.Workloads = selectWorkloads("cactus", "mix5")
+	tab, err := c.SpecGrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "specgrid", tab.String())
+}
+
 // TestGoldenFig6 pins the §6.3.1 epoch × counters design-space sweep for
 // one workload of the golden config.
 func TestGoldenFig6(t *testing.T) {

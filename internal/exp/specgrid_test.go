@@ -1,0 +1,102 @@
+package exp
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestSpecGridShape checks the grid's structure on a tiny config: one row
+// per (pair, workload) plus one average row per pair, every mechanism
+// column present, and the paper pair's normalized values consistent with
+// Fig8 (same cells, same substrate).
+func TestSpecGridShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix")
+	}
+	c := QuickConfig()
+	c.Requests = 30_000
+	c.Workloads = selectWorkloads("cactus", "mix5")
+	tab, err := c.SpecGrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.String()
+	wantRows := len(SpecPairs) * (len(c.Workloads) + 1)
+	if got := strings.Count(s, "\n") - 3; got != wantRows { // header + title + rule
+		t.Errorf("spec grid has %d rows, want %d:\n%s", got, wantRows, s)
+	}
+	for _, m := range specGridOrder {
+		if !strings.Contains(s, m) {
+			t.Errorf("mechanism column %s missing:\n%s", m, s)
+		}
+	}
+	for _, pair := range SpecPairs {
+		if !strings.Contains(s, pair[0]+"+"+pair[1]) {
+			t.Errorf("spec pair %v missing:\n%s", pair, s)
+		}
+	}
+}
+
+// TestSpecPairSelection checks Config.FastSpec/SlowSpec reach the
+// simulated memory: the NVM pair must produce a different Fig8 baseline
+// than the paper pair, and unknown names must panic with the registry's
+// error naming the valid options.
+func TestSpecPairSelection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix")
+	}
+	c := QuickConfig()
+	c.Requests = 30_000
+	c.Workloads = selectWorkloads("cactus")
+	paper, err := c.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SlowSpec = "NVM"
+	nvm, err := c.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paper.String() == nvm.String() {
+		t.Fatal("SlowSpec=NVM produced the paper pair's exact table")
+	}
+	if !strings.Contains(nvm.String(), "NVM-PCM") {
+		t.Errorf("table title does not name the resolved spec:\n%s", nvm.String())
+	}
+
+	c.SlowSpec = "GDDR7"
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("unknown SlowSpec did not panic")
+		}
+		msg := r.(error).Error()
+		if !strings.Contains(msg, "GDDR7") || !strings.Contains(msg, "DDR5-4800") {
+			t.Errorf("panic %q does not name the bad spec and the valid options", msg)
+		}
+	}()
+	c.Fig8()
+}
+
+// TestOracleSpecInvariant pins the oracle study's spec coverage: the §3
+// study observes page addresses only (no timing model), so its results
+// are identical for every memory spec pair — the property that lets one
+// oracle run stand for every (mechanism × spec) configuration.
+func TestOracleSpecInvariant(t *testing.T) {
+	c := QuickConfig()
+	c.Requests = 30_000
+	c.Workloads = selectWorkloads("cactus")
+	paper, err := c.OracleStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.FastSpec, c.SlowSpec = "HBM3", "NVM-PCM"
+	nvm, err := c.OracleStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(paper, nvm) {
+		t.Fatalf("oracle study depends on specs:\n%+v\nvs\n%+v", paper, nvm)
+	}
+}

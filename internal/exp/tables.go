@@ -60,7 +60,7 @@ func bytesStr(b uint64) string {
 // Table2 regenerates Table 2, the experimental configuration.
 func Table2() *report.Table {
 	l := addr.DefaultLayout()
-	hbm, ddr := dram.HBM(), dram.DDR4_1600()
+	hbm, ddr := dram.MustPreset("HBM"), dram.MustPreset("DDR4-1600")
 	t := report.New("table2", "Experimental framework configuration", "component", "value")
 	t.Add("Cores", "8 @ 3.2 GHz (trace timestamps), bounded outstanding window")
 	t.Add("Page / line / row", fmt.Sprintf("%dB / %dB / %dB", addr.PageBytes, addr.LineBytes, addr.RowBytes))

@@ -30,6 +30,11 @@ type Backend struct {
 	dFastCPP   addr.Divisor
 	dSlowCPP   addr.Divisor
 	fastPerPod uint32
+	// Per-level pages-per-row divisors: how many consecutive page slots
+	// share a DRAM row on each level (spec-dependent via the layout's
+	// FastRowBytes/SlowRowBytes).
+	dFastRowPg addr.Divisor
+	dSlowRowPg addr.Divisor
 	// Plain channels-per-pod counts, for pod-scoped column flushes.
 	fastCPP int
 	slowCPP int
@@ -51,6 +56,8 @@ func NewBackend(sys *memsys.System) *Backend {
 	}
 	b.dFastCPP = addr.NewDivisor(uint64(fastCPP))
 	b.dSlowCPP = addr.NewDivisor(uint64(slowCPP))
+	b.dFastRowPg = addr.NewDivisor(l.FastPagesPerRow())
+	b.dSlowRowPg = addr.NewDivisor(l.SlowPagesPerRow())
 	b.fastCPP, b.slowCPP = fastCPP, slowCPP
 	b.fastBase = make([]int32, l.NumPods)
 	b.slowBase = make([]int32, l.NumPods)
@@ -69,11 +76,11 @@ func (b *Backend) Line(pod int, f addr.Frame, li int, write bool, at clock.Time)
 	if uint32(f) < b.fastPerPod {
 		fv := uint64(uint32(f))
 		ch := int(b.fastBase[pod]) + int(b.dFastCPP.Mod(fv))
-		return b.Sys.AccessChannel(ch, b.dFastCPP.Div(fv)/addr.PagesPerRow, write, at)
+		return b.Sys.AccessChannel(ch, b.dFastRowPg.Div(b.dFastCPP.Div(fv)), write, at)
 	}
 	sf := uint64(uint32(f) - b.fastPerPod)
 	ch := int(b.slowBase[pod]) + int(b.dSlowCPP.Mod(sf))
-	return b.Sys.AccessChannel(ch, b.dSlowCPP.Div(sf)/addr.PagesPerRow, write, at)
+	return b.Sys.AccessChannel(ch, b.dSlowRowPg.Div(b.dSlowCPP.Div(sf)), write, at)
 }
 
 // LineLoc resolves frame f of pod `pod` to its channel and row without
@@ -82,10 +89,10 @@ func (b *Backend) Line(pod int, f addr.Frame, li int, write bool, at clock.Time)
 func (b *Backend) LineLoc(pod int, f addr.Frame) (ch int, row uint64) {
 	if uint32(f) < b.fastPerPod {
 		fv := uint64(uint32(f))
-		return int(b.fastBase[pod]) + int(b.dFastCPP.Mod(fv)), b.dFastCPP.Div(fv) / addr.PagesPerRow
+		return int(b.fastBase[pod]) + int(b.dFastCPP.Mod(fv)), b.dFastRowPg.Div(b.dFastCPP.Div(fv))
 	}
 	sf := uint64(uint32(f) - b.fastPerPod)
-	return int(b.slowBase[pod]) + int(b.dSlowCPP.Mod(sf)), b.dSlowCPP.Div(sf) / addr.PagesPerRow
+	return int(b.slowBase[pod]) + int(b.dSlowCPP.Mod(sf)), b.dSlowRowPg.Div(b.dSlowCPP.Div(sf))
 }
 
 // Plan returns the backend's shared column plan, creating it on first

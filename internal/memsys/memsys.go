@@ -32,10 +32,43 @@ type System struct {
 	channels []dram.Channel
 }
 
+// LayoutFor returns the layout with its per-level row sizes filled in
+// from the channel specs (for the populated levels). Row size is part of
+// the physical address map — it decides how many page slots share a DRAM
+// row — so carrying it in the layout makes trace predecode planes and
+// their persisted sidecars spec-dependent: a plane computed under one
+// spec's geometry is never silently reused under another's.
+func LayoutFor(l addr.Layout, fast, slow dram.Spec) (addr.Layout, error) {
+	set := func(level string, dst *uint64, channels int, spec dram.Spec) error {
+		if channels == 0 {
+			return nil
+		}
+		if *dst == 0 {
+			*dst = uint64(spec.RowBytes)
+		} else if *dst != uint64(spec.RowBytes) {
+			return fmt.Errorf("memsys: layout %s row size %d != spec %s row size %d",
+				level, *dst, spec.Name, spec.RowBytes)
+		}
+		return nil
+	}
+	if err := set("fast", &l.FastRowBytes, l.FastChannels, fast); err != nil {
+		return addr.Layout{}, err
+	}
+	if err := set("slow", &l.SlowRowBytes, l.SlowChannels, slow); err != nil {
+		return addr.Layout{}, err
+	}
+	return l, nil
+}
+
 // New builds the memory system for a layout. Single-level layouts (zero
 // channels on one side) are allowed for the paper's HBM-only and DDR-only
-// reference configurations.
+// reference configurations. The stored layout is canonicalized through
+// LayoutFor, so Layout() reflects the specs' row geometry.
 func New(layout addr.Layout, fast, slow dram.Spec) (*System, error) {
+	layout, err := LayoutFor(layout, fast, slow)
+	if err != nil {
+		return nil, err
+	}
 	if err := layout.Validate(); err != nil {
 		return nil, err
 	}

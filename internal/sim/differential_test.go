@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hma"
 	"repro/internal/mech"
+	"repro/internal/migrant"
 	"repro/internal/stats"
 	"repro/internal/thm"
 	"repro/internal/trace"
@@ -32,6 +33,7 @@ var mechanisms = []struct {
 	{"HMA", func(b *mech.Backend) mech.Mechanism { return hma.MustNew(hma.DefaultConfig(), b) }},
 	{"THM", func(b *mech.Backend) mech.Mechanism { return thm.MustNew(thm.DefaultConfig(), b) }},
 	{"CAMEO", func(b *mech.Backend) mech.Mechanism { return cameo.MustNew(cameo.DefaultConfig(), b) }},
+	{"Migrant", func(b *mech.Backend) mech.Mechanism { return migrant.MustNew(migrant.DefaultConfig(), b) }},
 	{"Static", func(b *mech.Backend) mech.Mechanism { return mech.NewStatic("TLM", b) }},
 }
 

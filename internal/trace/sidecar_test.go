@@ -213,6 +213,55 @@ func TestSidecarCorruptionRejected(t *testing.T) {
 	}
 }
 
+// TestSidecarNotSharedAcrossSpecGeometry writes a plane sidecar under the
+// default layout, then opens the same snapshot under a layout whose slow
+// row size differs (what memsys.LayoutFor produces for the NVM preset's
+// 4 KB rows). The second geometry must get its own sidecar with its own
+// decode — never the first geometry's bytes — and both must stay
+// bit-correct for their layout.
+func TestSidecarNotSharedAcrossSpecGeometry(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	lDefault := addr.DefaultLayout()
+	lNVM := lDefault
+	lNVM.SlowRowBytes = 4096
+	gDefault, gNVM := lDefault.Geom(), lNVM.Geom()
+	// The requests must be valid under both layouts (same capacities).
+	reqs := boundedReqs(rng, 400, lDefault)
+	path := writeSnapFile(t, t.TempDir(), "wl", reqs)
+
+	pDefault, pNVM := planeSidecarPath(path, &gDefault), planeSidecarPath(path, &gNVM)
+	if pDefault == pNVM {
+		t.Fatalf("spec geometries share sidecar path %s", pDefault)
+	}
+
+	s1, _, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Plane(&gDefault)
+	s1.Release()
+	if _, err := os.Stat(pDefault); err != nil {
+		t.Fatalf("default-geometry sidecar not persisted: %v", err)
+	}
+
+	s2, _, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Release()
+	got := s2.Plane(&gNVM)
+	want := planeWant(reqs, &gNVM)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("NVM-geometry plane[%d] = %+v, want %+v (default-geometry sidecar reused?)",
+				i, got[i], want[i])
+		}
+	}
+	if _, err := os.Stat(pNVM); err != nil {
+		t.Fatalf("NVM-geometry sidecar not persisted: %v", err)
+	}
+}
+
 // TestGeomFingerprintDistinguishesLayouts guards the plane sidecar's
 // content key: distinct layouts must not share a fingerprint, or a plane
 // decoded under one geometry could serve another.
@@ -221,6 +270,16 @@ func TestGeomFingerprintDistinguishesLayouts(t *testing.T) {
 		addr.DefaultLayout(),
 		{FastBytes: 9 << 30, FastChannels: 8, NumPods: 4},
 		{SlowBytes: 9 << 30, SlowChannels: 4, NumPods: 4},
+		func() addr.Layout {
+			l := addr.DefaultLayout()
+			l.SlowRowBytes = 4096
+			return l
+		}(),
+		func() addr.Layout {
+			l := addr.DefaultLayout()
+			l.FastRowBytes = 2048
+			return l
+		}(),
 	}
 	seen := map[uint64]int{}
 	for i, l := range layouts {

@@ -3,6 +3,7 @@ package mempod
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"repro/internal/addr"
 	"repro/internal/cameo"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/hma"
 	"repro/internal/mech"
 	"repro/internal/memsys"
+	"repro/internal/migrant"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/thm"
@@ -28,6 +30,7 @@ const (
 	MechHMA     Mechanism = "HMA"      // OS-driven interval migration baseline
 	MechTHM     Mechanism = "THM"      // segment/competing-counter baseline
 	MechCAMEO   Mechanism = "CAMEO"    // line-granularity event-swap baseline
+	MechMigrant Mechanism = "Migrant"  // OS/VM-assisted fault-threshold migration
 	MechTLM     Mechanism = "TLM"      // two-level memory, no migration
 	MechHBMOnly Mechanism = "HBM-only" // 9 GB of stacked memory, no DDR
 	MechDDROnly Mechanism = "DDR-only" // 9 GB of off-chip memory, no HBM
@@ -35,7 +38,19 @@ const (
 
 // Mechanisms lists every supported Mechanism value.
 func Mechanisms() []Mechanism {
-	return []Mechanism{MechMemPod, MechHMA, MechTHM, MechCAMEO, MechTLM, MechHBMOnly, MechDDROnly}
+	return []Mechanism{MechMemPod, MechHMA, MechTHM, MechCAMEO, MechMigrant, MechTLM, MechHBMOnly, MechDDROnly}
+}
+
+// Specs lists the memory-spec preset names accepted by Options.FastSpec
+// and Options.SlowSpec (aliases like "DDR4" and "NVM" also resolve; see
+// internal/dram.Preset).
+func Specs() []string { return dram.PresetNames() }
+
+// CheckSpec validates a memory-spec preset name or alias against the
+// registry; the error for an unknown name lists the valid options.
+func CheckSpec(name string) error {
+	_, err := dram.Preset(name)
+	return err
 }
 
 // Duration re-exports the simulator's femtosecond time unit for options.
@@ -60,6 +75,14 @@ type MemPodOptions struct {
 	UseFullCounters bool
 }
 
+// MigrantOptions tunes the OS-assisted Migrant mechanism. Zero values
+// select its defaults (100 µs epoch, threshold 8, 2 µs fault cost).
+type MigrantOptions struct {
+	Epoch        Duration // A-bit harvest epoch
+	HotThreshold int      // faults-in when an epoch's touch count crosses this
+	FaultCost    Duration // minor-fault handling cost charged before the copy
+}
+
 // HMAOptions tunes the HMA baseline. Zero values select the paper's
 // parameters (100 ms interval, 7 ms sort), which require correspondingly
 // long traces; see exp.Config for the scaled experiment defaults.
@@ -81,6 +104,12 @@ type Options struct {
 	// FutureMemories selects the §6.3.4 technology point: 4 GHz HBM and
 	// DDR4-2400 instead of the baseline parts.
 	FutureMemories bool
+	// FastSpec/SlowSpec name dram preset specs (see Specs()) for the two
+	// memory levels; empty selects the paper pair (HBM + DDR4-1600), or
+	// the future pair when FutureMemories is set. Naming a spec together
+	// with FutureMemories is an error.
+	FastSpec string
+	SlowSpec string
 	// Window caps outstanding requests (default sim.DefaultWindow;
 	// negative = unlimited).
 	Window int
@@ -91,8 +120,9 @@ type Options struct {
 	// for every value.
 	PodShards int
 
-	MemPod MemPodOptions
-	HMA    HMAOptions
+	MemPod  MemPodOptions
+	HMA     HMAOptions
+	Migrant MigrantOptions
 }
 
 // Result is the outcome of a run. AMMAT() reports the paper's headline
@@ -124,13 +154,39 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// specs resolves the run's memory specs: named presets when given,
+// otherwise the paper pair or the §6.3.4 future pair.
+func (o Options) specs() (fast, slow dram.Spec, err error) {
+	if o.FastSpec != "" || o.SlowSpec != "" {
+		if o.FutureMemories {
+			return fast, slow, fmt.Errorf("mempod: FutureMemories cannot be combined with named specs")
+		}
+		fastName, slowName := o.FastSpec, o.SlowSpec
+		if fastName == "" {
+			fastName = "HBM"
+		}
+		if slowName == "" {
+			slowName = "DDR4-1600"
+		}
+		if fast, err = dram.Preset(fastName); err != nil {
+			return fast, slow, err
+		}
+		slow, err = dram.Preset(slowName)
+		return fast, slow, err
+	}
+	if o.FutureMemories {
+		return dram.HBMOverclocked(), dram.DDR4_2400(), nil
+	}
+	return dram.HBM(), dram.DDR4_1600(), nil
+}
+
 // runStream builds the memory system and mechanism selected by o and
 // drives the stream through it. Every entry point — generated workloads,
 // custom definitions, recorded trace replays — funnels through here.
 func runStream(name string, s trace.Stream, o Options) (Result, error) {
-	fast, slow := dram.HBM(), dram.DDR4_1600()
-	if o.FutureMemories {
-		fast, slow = dram.HBMOverclocked(), dram.DDR4_2400()
+	fast, slow, err := o.specs()
+	if err != nil {
+		return Result{}, err
 	}
 	layout := addr.DefaultLayout()
 	switch o.Mechanism {
@@ -338,11 +394,33 @@ func buildMechanism(o Options, backend *mech.Backend) (mech.Mechanism, error) {
 		return thm.New(thm.DefaultConfig(), backend)
 	case MechCAMEO:
 		return cameo.New(cameo.DefaultConfig(), backend)
+	case MechMigrant:
+		cfg := migrant.DefaultConfig()
+		if o.Migrant.Epoch > 0 {
+			cfg.Epoch = o.Migrant.Epoch
+		}
+		if o.Migrant.HotThreshold > 0 {
+			cfg.HotThreshold = o.Migrant.HotThreshold
+		}
+		if o.Migrant.FaultCost > 0 {
+			cfg.FaultCost = o.Migrant.FaultCost
+		}
+		return migrant.New(cfg, backend)
 	case MechTLM, MechHBMOnly, MechDDROnly:
 		return mech.NewStatic(string(o.Mechanism), backend), nil
 	default:
-		return nil, fmt.Errorf("mempod: unknown mechanism %q", o.Mechanism)
+		return nil, fmt.Errorf("mempod: unknown mechanism %q (valid: %s)",
+			o.Mechanism, mechanismNames())
 	}
+}
+
+// mechanismNames renders the Mechanisms list for error messages.
+func mechanismNames() string {
+	names := make([]string, len(Mechanisms()))
+	for i, m := range Mechanisms() {
+		names[i] = string(m)
+	}
+	return strings.Join(names, ", ")
 }
 
 func lookupWorkload(name string) (workload.Workload, error) {

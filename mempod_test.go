@@ -110,8 +110,8 @@ func TestRunMemPodOptionsApplied(t *testing.T) {
 
 func TestExperimentsEnumeration(t *testing.T) {
 	es := Experiments()
-	if len(es) != 11 {
-		t.Fatalf("Experiments() = %d entries, want 11", len(es))
+	if len(es) != 12 {
+		t.Fatalf("Experiments() = %d entries, want 12", len(es))
 	}
 }
 

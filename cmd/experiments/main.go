@@ -8,10 +8,19 @@
 //	experiments -only fig8,fig9  # a subset
 //	experiments -csvdir out/     # also write CSVs
 //	experiments -j 4 -progress   # bound worker count, show cell progress
+//	experiments -result-cache d/ # persist cell results, skip them next run
 //
 // Simulation cells fan out to GOMAXPROCS workers by default (-j bounds
 // them; -j 1 forces serial execution). Results are deterministic for a
 // fixed seed regardless of -j.
+//
+// Cell results are memoized in-process by default, so experiments sharing
+// design points (Fig6/Fig7, the three oracle figures) simulate each
+// distinct cell once; -result-cache DIR persists them across runs and
+// -no-result-cache disables memoization entirely. Cached results are
+// field-identical to fresh simulation — only the wall time changes.
+// Tables go to stdout; per-experiment wall time and cache activity go to
+// stderr ("fig8: finished in 1.2s cache hits=162 misses=0 ...").
 package main
 
 import (
@@ -35,10 +44,24 @@ func main() {
 		fastSpec = flag.String("fast-spec", "", "fast-tier memory spec preset (default HBM; see mempod.Specs)")
 		slowSpec = flag.String("slow-spec", "", "slow-tier memory spec preset (default DDR4-1600)")
 		progress = flag.Bool("progress", false, "report per-cell progress on stderr")
+		cacheDir = flag.String("result-cache", "", "persist cell results in this directory (reused across runs)")
+		noCache  = flag.Bool("no-result-cache", false, "disable result memoization entirely")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	var rcache *mempod.ResultCache
+	if !*noCache {
+		var err error
+		if rcache, err = mempod.NewResultCache(*cacheDir); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	} else if *cacheDir != "" {
+		fmt.Fprintln(os.Stderr, "experiments: -result-cache and -no-result-cache are mutually exclusive")
+		os.Exit(1)
+	}
 
 	stopProf, err := profiling.Start(*cpuProf, *memProf)
 	if err != nil {
@@ -75,10 +98,11 @@ func main() {
 		os.Exit(1)
 	}
 
+	var prev mempod.ResultCacheStats
 	for _, e := range selected {
 		start := time.Now()
 		opts := mempod.RunOptions{Scale: scale, Parallelism: *parallel,
-			FastSpec: *fastSpec, SlowSpec: *slowSpec}
+			FastSpec: *fastSpec, SlowSpec: *slowSpec, Results: rcache}
 		if *progress {
 			e := e
 			opts.Progress = func(done, total int) {
@@ -91,7 +115,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(tab.Text)
-		fmt.Printf("(%s finished in %s)\n\n", e, time.Since(start).Round(time.Millisecond))
+		// Wall time and cache activity go to stderr so stdout is purely
+		// tables (diffable across runs; CI compares cold vs warm output).
+		line := fmt.Sprintf("%s: finished in %s", e, time.Since(start).Round(time.Millisecond))
+		if rcache != nil {
+			cur := rcache.Stats()
+			line += " cache " + statsDelta(prev, cur).String()
+			prev = cur
+		}
+		fmt.Fprintln(os.Stderr, line)
 		if *csvdir != "" {
 			if err := os.MkdirAll(*csvdir, 0o755); err != nil {
 				fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -103,5 +135,21 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	}
+	if rcache != nil {
+		fmt.Fprintf(os.Stderr, "experiments: result cache total %s\n", rcache.Stats())
+	}
+}
+
+// statsDelta returns the cache activity between two snapshots — one
+// experiment's share of the shared cache's counters.
+func statsDelta(prev, cur mempod.ResultCacheStats) mempod.ResultCacheStats {
+	return mempod.ResultCacheStats{
+		Hits:      cur.Hits - prev.Hits,
+		Misses:    cur.Misses - prev.Misses,
+		DiskLoads: cur.DiskLoads - prev.DiskLoads,
+		Stale:     cur.Stale - prev.Stale,
+		Persisted: cur.Persisted - prev.Persisted,
+		BytesRead: cur.BytesRead - prev.BytesRead, BytesWritten: cur.BytesWritten - prev.BytesWritten,
 	}
 }

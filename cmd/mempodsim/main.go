@@ -10,7 +10,10 @@
 //
 // -compare records the workload's trace once and replays the packed
 // snapshot under every mechanism, so the trace front-end cost is paid a
-// single time instead of once per mechanism.
+// single time instead of once per mechanism. With -result-cache DIR the
+// per-mechanism results are also persisted, so re-running the same
+// comparison (same trace, specs and seed) replays nothing; the cache
+// summary is printed to stderr. -no-result-cache disables memoization.
 package main
 
 import (
@@ -99,6 +102,8 @@ func main() {
 		traceIn  = flag.String("trace-in", "", "replay a recorded trace snapshot (overrides -workload/-requests/-seed)")
 		traceOut = flag.String("trace-out", "", "record the generated trace to this snapshot file")
 		parallel = flag.Int("j", 0, "-compare: max concurrent simulations (0 = GOMAXPROCS)")
+		cacheDir = flag.String("result-cache", "", "persist cell results in this directory (reused across runs)")
+		noCache  = flag.Bool("no-result-cache", false, "disable result memoization entirely")
 		podsPar  = flag.String("pods-parallel", "auto", "intra-run pod-parallel mode: auto, off, or a worker count >= 2 (bit-identical results)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -154,8 +159,19 @@ func main() {
 		os.Exit(1)
 	}
 
+	var rcache *mempod.ResultCache
+	if !*noCache {
+		if rcache, err = mempod.NewResultCache(*cacheDir); err != nil {
+			fmt.Fprintln(os.Stderr, "mempodsim:", err)
+			os.Exit(1)
+		}
+	} else if *cacheDir != "" {
+		fmt.Fprintln(os.Stderr, "mempodsim: -result-cache and -no-result-cache are mutually exclusive")
+		os.Exit(1)
+	}
+
 	if *compare {
-		if err := runCompare(tr, *requests, *seed, *future, fastSpec, slowSpec, *parallel, podShards); err != nil {
+		if err := runCompare(tr, *requests, *seed, *future, fastSpec, slowSpec, *parallel, podShards, rcache); err != nil {
 			fmt.Fprintln(os.Stderr, "mempodsim:", err)
 			os.Exit(1)
 		}
@@ -177,6 +193,7 @@ func main() {
 		},
 		HMA:       mempod.HMAOptions{CacheBytes: *cache},
 		PodShards: podShards,
+		Results:   rcache,
 	}
 	var res mempod.Result
 	if tr != nil {
@@ -297,7 +314,7 @@ func parsePodsParallel(v string) (int, error) {
 // simulator state; only the immutable snapshot is shared). In auto mode,
 // CPUs left over by the mechanism pool go to each run's pod-parallel
 // engine, so -j 1 on a big machine still uses the whole machine.
-func runCompare(tr *mempod.Trace, requests int, seed int64, future bool, fastSpec, slowSpec string, parallelism, podShards int) error {
+func runCompare(tr *mempod.Trace, requests int, seed int64, future bool, fastSpec, slowSpec string, parallelism, podShards int, rcache *mempod.ResultCache) error {
 	order := compareOrder()
 	if podShards == 0 {
 		podShards = runner.PerTaskParallelism(parallelism, len(order))
@@ -307,7 +324,7 @@ func runCompare(tr *mempod.Trace, requests int, seed int64, future bool, fastSpe
 		m := m
 		o := mempod.Options{Mechanism: m, Requests: requests, Seed: seed,
 			FutureMemories: future, FastSpec: fastSpec, SlowSpec: slowSpec,
-			PodShards: podShards}
+			PodShards: podShards, Results: rcache}
 		if m == mempod.MechHMA {
 			// Scale HMA to the trace length (see EXPERIMENTS.md).
 			o.HMA = mempod.HMAOptions{
@@ -338,6 +355,9 @@ func runCompare(tr *mempod.Trace, requests int, seed int64, future bool, fastSpe
 		fmt.Printf("%-10s %12.2f %12.3f %11.1f%% %12.1f\n",
 			m, res.AMMAT(), res.Normalized(base), 100*res.FastServiceFraction(),
 			float64(res.Mig.BytesMoved)/(1<<20))
+	}
+	if rcache != nil {
+		fmt.Fprintf(os.Stderr, "mempodsim: result cache %s\n", rcache.Stats())
 	}
 	return nil
 }

@@ -7,9 +7,13 @@
 //	sweep -full           # sweep-workload subset at full trace length
 //	sweep -fig 6          # only Figure 6
 //	sweep -j 4            # bound the worker pool (0 = GOMAXPROCS)
+//	sweep -result-cache d # persist cell results, skip them next run
 //
 // Each sweep fans its (design point × workload) grid out to a worker
 // pool; results are deterministic for a fixed seed regardless of -j.
+// Cell results are memoized in-process by default — the sweeps overlap
+// (Fig7's 16-bit points are Fig6 points) — and -result-cache DIR makes
+// the memo persistent; -no-result-cache turns it off.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"strings"
 
 	"repro/internal/exp"
+	"repro/internal/resultcache"
 )
 
 // sweepSubset mirrors mempod.SweepWorkloads (one workload per behaviour
@@ -33,12 +38,25 @@ func main() {
 		workloads = flag.String("workloads", "", "comma-separated workload subset")
 		ablate    = flag.Bool("ablate", false, "also run the pod-count and tracker ablations")
 		parallel  = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+		cacheDir  = flag.String("result-cache", "", "persist cell results in this directory (reused across runs)")
+		noCache   = flag.Bool("no-result-cache", false, "disable result memoization entirely")
 	)
 	flag.Parse()
 
 	cfg := exp.QuickConfig().WithWorkloads(sweepSubset...)
 	cfg.Requests = 150_000
 	cfg.Parallelism = *parallel
+	if !*noCache {
+		cfg.Results = resultcache.New()
+		if *cacheDir != "" {
+			if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
+				fail(err)
+			}
+			cfg.Results.SetDir(*cacheDir)
+		}
+	} else if *cacheDir != "" {
+		fail(fmt.Errorf("-result-cache and -no-result-cache are mutually exclusive"))
+	}
 	if *full {
 		cfg.Requests = 1_000_000
 	}
@@ -79,6 +97,11 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(t)
+	}
+	if cfg.Results != nil {
+		s := cfg.Results.Stats()
+		fmt.Fprintf(os.Stderr, "sweep: result cache hits=%d misses=%d stale=%d read=%dB written=%dB\n",
+			s.Hits, s.Misses, s.Stale, s.BytesRead, s.BytesWritten)
 	}
 }
 

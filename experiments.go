@@ -79,6 +79,13 @@ type RunOptions struct {
 	// own pairs) ignore them.
 	FastSpec string
 	SlowSpec string
+	// Results, when non-nil, memoizes simulation cells across experiments
+	// and processes (see ResultCache). Experiments sharing design points —
+	// Fig6 and Fig7 overlap on the paper's chosen configuration, Fig8 and
+	// the oracle figures share whole matrices — simulate each distinct
+	// cell once per cache, and a persistent cache skips them entirely on
+	// the next run. Results are field-identical with or without a cache.
+	Results *ResultCache
 }
 
 // RunExperiment regenerates one table or figure of the paper at the given
@@ -95,6 +102,9 @@ func RunExperimentOpts(e Experiment, opts RunOptions) (*Table, error) {
 	cfg := expConfig(e, opts.Scale)
 	cfg.Parallelism = opts.Parallelism
 	cfg.Progress = opts.Progress
+	if opts.Results != nil {
+		cfg.Results = opts.Results.c
+	}
 	if opts.FastSpec != "" || opts.SlowSpec != "" {
 		if _, err := dram.Preset(firstNonEmpty(opts.FastSpec, "HBM")); err != nil {
 			return nil, err

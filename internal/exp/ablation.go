@@ -21,16 +21,21 @@ var PodCounts = []int{1, 2, 4}
 // More pods mean more parallel migration drivers and more total MEA
 // entries (K per pod), at zero communication between pods.
 func (c Config) PodSweep() (*report.Table, error) {
-	fast, slow := c.specPair()
+	fast, slow, err := c.specPair("ablation-pods")
+	if err != nil {
+		return nil, err
+	}
 	builders := []builder{{
-		name: "TLM", layout: stdLayout(), fast: fast, slow: slow,
+		name: "TLM", ckey: mechKey("static", nil),
+		layout: stdLayout(), fast: fast, slow: slow,
 		make: func(b *mech.Backend) mech.Mechanism { return mech.NewStatic("TLM", b) },
 	}}
 	for _, pods := range PodCounts {
 		layout := stdLayout()
 		layout.NumPods = pods
 		builders = append(builders, builder{
-			name:   fmt.Sprintf("MemPod/%dpod", pods),
+			name: fmt.Sprintf("MemPod/%dpod", pods),
+			ckey: mechKey("mempod", core.DefaultConfig()),
 			layout: layout, fast: fast, slow: slow,
 			make: func(b *mech.Backend) mech.Mechanism {
 				return core.MustNew(core.DefaultConfig(), b)
@@ -73,13 +78,21 @@ func (c Config) TrackerSweep() (*report.Table, error) {
 			return core.MustNew(cfg, b)
 		}
 	}
-	fast, slow := c.specPair()
+	fast, slow, err := c.specPair("ablation-tracker")
+	if err != nil {
+		return nil, err
+	}
+	fcKey := func(useFC bool) string {
+		cfg := core.DefaultConfig()
+		cfg.UseFullCounters = useFC
+		return mechKey("mempod", cfg)
+	}
 	builders := []builder{
-		{"TLM", stdLayout(), fast, slow, func(b *mech.Backend) mech.Mechanism {
+		{"TLM", mechKey("static", nil), stdLayout(), fast, slow, func(b *mech.Backend) mech.Mechanism {
 			return mech.NewStatic("TLM", b)
 		}},
-		{"MemPod", stdLayout(), fast, slow, mk(false)},
-		{"MemPod-FC", stdLayout(), fast, slow, mk(true)},
+		{"MemPod", fcKey(false), stdLayout(), fast, slow, mk(false)},
+		{"MemPod-FC", fcKey(true), stdLayout(), fast, slow, mk(true)},
 	}
 	res, err := c.matrix(builders)
 	if err != nil {

@@ -19,7 +19,10 @@ var fig8Order = []string{"MemPod", "HMA", "THM", "CAMEO", "HBM-only"}
 // normalized to the no-migration two-level memory (TLM), plus HG/MIX/ALL
 // averages and the migration volumes the paper discusses alongside it.
 func (c Config) Fig8() (*report.Table, error) {
-	fast, slow := c.specPair()
+	fast, slow, err := c.specPair("fig8")
+	if err != nil {
+		return nil, err
+	}
 	res, err := c.matrix(c.baselineBuilders(fast, slow))
 	if err != nil {
 		return nil, err
@@ -47,7 +50,8 @@ func (c Config) Fig10() (*report.Table, error) {
 		}
 	}
 	builders = append(builders, builder{
-		name: "DDR-only", layout: ddrOnlyLayout(), fast: fast, slow: slow,
+		name: "DDR-only", ckey: mechKey("static", nil),
+		layout: ddrOnlyLayout(), fast: fast, slow: slow,
 		make: func(b *mech.Backend) mech.Mechanism { return mech.NewStatic("DDR-only", b) },
 	})
 	res, err := future.matrix(builders)
@@ -135,36 +139,47 @@ var Fig9Sizes = []int{16 << 10, 32 << 10, 64 << 10}
 // bookkeeping caches, normalized to the no-migration TLM, plus each
 // mechanism's cache-disabled reference.
 func (c Config) Fig9() (*report.Table, error) {
-	fast, slow := c.specPair()
+	fast, slow, err := c.specPair("fig9")
+	if err != nil {
+		return nil, err
+	}
 	builders := []builder{{
-		name: "TLM", layout: stdLayout(), fast: fast, slow: slow,
+		name: "TLM", ckey: mechKey("static", nil),
+		layout: stdLayout(), fast: fast, slow: slow,
 		make: func(b *mech.Backend) mech.Mechanism { return mech.NewStatic("TLM", b) },
 	}}
 	mechs := []struct {
 		name string
+		ckey func(cacheBytes int) string
 		mk   func(cacheBytes int) func(b *mech.Backend) mech.Mechanism
 	}{
-		{"MemPod", func(cb int) func(b *mech.Backend) mech.Mechanism {
-			return func(b *mech.Backend) mech.Mechanism {
-				cfg := core.DefaultConfig()
-				cfg.CacheBytes = cb
-				return core.MustNew(cfg, b)
-			}
-		}},
-		{"THM", func(cb int) func(b *mech.Backend) mech.Mechanism {
-			return func(b *mech.Backend) mech.Mechanism {
-				cfg := thm.DefaultConfig()
-				cfg.CacheBytes = cb
-				return thm.MustNew(cfg, b)
-			}
-		}},
-		{"HMA", func(cb int) func(b *mech.Backend) mech.Mechanism {
-			return func(b *mech.Backend) mech.Mechanism {
-				cfg := c.hmaConfig()
-				cfg.CacheBytes = cb
-				return hma.MustNew(cfg, b)
-			}
-		}},
+		{"MemPod",
+			func(cb int) string { cfg := core.DefaultConfig(); cfg.CacheBytes = cb; return mechKey("mempod", cfg) },
+			func(cb int) func(b *mech.Backend) mech.Mechanism {
+				return func(b *mech.Backend) mech.Mechanism {
+					cfg := core.DefaultConfig()
+					cfg.CacheBytes = cb
+					return core.MustNew(cfg, b)
+				}
+			}},
+		{"THM",
+			func(cb int) string { cfg := thm.DefaultConfig(); cfg.CacheBytes = cb; return mechKey("thm", cfg) },
+			func(cb int) func(b *mech.Backend) mech.Mechanism {
+				return func(b *mech.Backend) mech.Mechanism {
+					cfg := thm.DefaultConfig()
+					cfg.CacheBytes = cb
+					return thm.MustNew(cfg, b)
+				}
+			}},
+		{"HMA",
+			func(cb int) string { cfg := c.hmaConfig(); cfg.CacheBytes = cb; return mechKey("hma", cfg) },
+			func(cb int) func(b *mech.Backend) mech.Mechanism {
+				return func(b *mech.Backend) mech.Mechanism {
+					cfg := c.hmaConfig()
+					cfg.CacheBytes = cb
+					return hma.MustNew(cfg, b)
+				}
+			}},
 	}
 	sizes := append([]int{0}, Fig9Sizes...)
 	for _, m := range mechs {
@@ -174,7 +189,8 @@ func (c Config) Fig9() (*report.Table, error) {
 				label = fmt.Sprintf("%s/%dKB", m.name, size>>10)
 			}
 			builders = append(builders, builder{
-				name: label, layout: stdLayout(), fast: fast, slow: slow,
+				name: label, ckey: m.ckey(size),
+				layout: stdLayout(), fast: fast, slow: slow,
 				make: m.mk(size),
 			})
 		}

@@ -26,16 +26,24 @@ type designPoint struct {
 // runMemPodGrid evaluates several MemPod configurations as one flat
 // (configuration × workload) matrix — so a whole design-space sweep fans
 // out to c.Parallelism workers at once — and returns one aggregated point
-// per configuration, in input order.
-func (c Config) runMemPodGrid(cfgs []core.Config) ([]designPoint, error) {
-	fast, slow := c.specPair()
+// per configuration, in input order. experiment tags spec-resolution
+// errors with the calling figure's name. Grid points are labeled by index
+// but cache-keyed by configuration, so the same design point appearing in
+// two sweeps (Fig6's 50µs/64ctr/16bit is also Fig7's) simulates once per
+// shared cache.
+func (c Config) runMemPodGrid(experiment string, cfgs []core.Config) ([]designPoint, error) {
+	fast, slow, err := c.specPair(experiment)
+	if err != nil {
+		return nil, err
+	}
 	builders := make([]builder, len(cfgs))
 	for i, mpCfg := range cfgs {
 		mpCfg := mpCfg
 		builders[i] = builder{
-			name:   fmt.Sprintf("MemPod#%d", i),
+			name: fmt.Sprintf("MemPod#%d", i),
+			ckey: mechKey("mempod", mpCfg),
 			layout: stdLayout(), fast: fast, slow: slow,
-			make:   func(bk *mech.Backend) mech.Mechanism { return core.MustNew(mpCfg, bk) },
+			make: func(bk *mech.Backend) mech.Mechanism { return core.MustNew(mpCfg, bk) },
 		}
 	}
 	res, err := c.matrix(builders)
@@ -65,7 +73,7 @@ func (c Config) runMemPodGrid(cfgs []core.Config) ([]designPoint, error) {
 // and returns the average AMMAT (ns) and average migrations per pod per
 // interval.
 func (c Config) runMemPod(mpCfg core.Config) (ammat, migsPerPodInterval float64, err error) {
-	pts, err := c.runMemPodGrid([]core.Config{mpCfg})
+	pts, err := c.runMemPodGrid("mempod-run", []core.Config{mpCfg})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -87,7 +95,7 @@ func (c Config) Fig6() (*report.Table, error) {
 			cfgs = append(cfgs, core.Config{Interval: epoch, Counters: k, CounterBits: 16})
 		}
 	}
-	pts, err := c.runMemPodGrid(cfgs)
+	pts, err := c.runMemPodGrid("fig6", cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -126,7 +134,7 @@ func (c Config) Fig7() (*report.Table, error) {
 			cfgs = append(cfgs, core.Config{Interval: v.interval, Counters: v.counters, CounterBits: bits})
 		}
 	}
-	all, err := c.runMemPodGrid(cfgs)
+	all, err := c.runMemPodGrid("fig7", cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -159,7 +167,7 @@ func (c Config) BestConfigCheck() (chosen, best float64, err error) {
 			cfgs = append(cfgs, core.Config{Interval: epoch, Counters: k, CounterBits: 16})
 		}
 	}
-	pts, err := c.runMemPodGrid(cfgs)
+	pts, err := c.runMemPodGrid("best-config-check", cfgs)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -11,7 +11,10 @@ import (
 // data-movement energy, the migration-interconnect component, and data
 // moved, averaged over the config's workloads.
 func (c Config) EnergyTable() (*report.Table, error) {
-	fast, slow := c.specPair()
+	fast, slow, err := c.specPair("energy")
+	if err != nil {
+		return nil, err
+	}
 	res, err := c.matrix(c.baselineBuilders(fast, slow))
 	if err != nil {
 		return nil, err

@@ -21,6 +21,7 @@ import (
 	"repro/internal/hma"
 	"repro/internal/mech"
 	"repro/internal/memsys"
+	"repro/internal/resultcache"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -44,7 +45,8 @@ type Config struct {
 	// FastSpec/SlowSpec name the memory specs (dram.Preset names) the
 	// baseline experiments run on; empty selects the paper pair
 	// (HBM + DDR4-1600). Fig10 ignores them — it is defined as the
-	// future-technology pair. Unknown names panic, like Workloads.
+	// future-technology pair. Unknown names surface as an error from the
+	// experiment that resolved them, tagged with the experiment's name.
 	FastSpec string
 	SlowSpec string
 
@@ -90,6 +92,23 @@ type Config struct {
 	// regenerated. Ignored when Traces is set (configure the shared cache
 	// directly in that case).
 	TraceDir string
+
+	// Results, when non-nil, is the content-addressed result cache matrix
+	// and oracle runs consult before simulating a cell (and publish fresh
+	// cells to). Cells are keyed by their complete causal identity — see
+	// resultcache.CellKey — so any cache state produces field-identical
+	// results to a cache-less run; only the work changes. Sharing one cache
+	// across sequential experiments dedupes their overlapping design points
+	// (Fig6 and Fig7 share MemPod configurations, Fig8 and the energy table
+	// share entire matrices). Nil with an empty ResultDir disables result
+	// caching entirely.
+	Results *resultcache.Cache
+	// ResultDir, when non-empty, enables the result disk store
+	// (resultcache.Cache.SetDir) for runs that create their own transient
+	// cache: cell results persist there as MPR1 files and short-circuit
+	// later processes' matching cells. Ignored when Results is set
+	// (configure the shared cache directly in that case).
+	ResultDir string
 }
 
 // DefaultConfig returns the full-evaluation configuration.
@@ -148,9 +167,10 @@ func selectWorkloads(names ...string) []workload.Workload {
 }
 
 // specPair resolves the config's named memory specs through the dram
-// preset registry, defaulting to the paper pair. Like selectWorkloads it
-// panics on unknown names (the registry error lists the valid options).
-func (c Config) specPair() (fast, slow dram.Spec) {
+// preset registry, defaulting to the paper pair. experiment tags the
+// error so a bad -fast/-slow name names the figure that tripped on it
+// (the registry error itself lists the valid options).
+func (c Config) specPair(experiment string) (fast, slow dram.Spec, err error) {
 	fastName, slowName := c.FastSpec, c.SlowSpec
 	if fastName == "" {
 		fastName = "HBM"
@@ -158,16 +178,40 @@ func (c Config) specPair() (fast, slow dram.Spec) {
 	if slowName == "" {
 		slowName = "DDR4-1600"
 	}
-	return dram.MustPreset(fastName), dram.MustPreset(slowName)
+	if fast, err = dram.Preset(fastName); err != nil {
+		return fast, slow, fmt.Errorf("exp: %s: fast spec: %w", experiment, err)
+	}
+	if slow, err = dram.Preset(slowName); err != nil {
+		return fast, slow, fmt.Errorf("exp: %s: slow spec: %w", experiment, err)
+	}
+	return fast, slow, nil
 }
 
 // builder constructs a mechanism and the memory system it runs on.
+//
+// name is the display label results carry (and may differ between
+// experiments for one mechanism — Fig6 numbers its grid points, Fig10
+// renames HBM-only); ckey is the mechanism's canonical identity for the
+// result cache, derived from the config struct that parameterizes it, so
+// equal design points hit one another's cache entries whatever an
+// experiment labels them.
 type builder struct {
 	name   string
+	ckey   string
 	layout addr.Layout
 	fast   dram.Spec
 	slow   dram.Spec
 	make   func(b *mech.Backend) mech.Mechanism
+}
+
+// mechKey renders a mechanism tag plus its printed config struct as the
+// builder's canonical cache identity. Config structs are flat value types
+// whose %+v form lists every design-space parameter.
+func mechKey(tag string, cfg any) string {
+	if cfg == nil {
+		return tag
+	}
+	return tag + ":" + fmt.Sprintf("%+v", cfg)
 }
 
 // Standard layouts and specs of the evaluation.
@@ -185,22 +229,22 @@ func ddrOnlyLayout() addr.Layout {
 // memory specs: no-migration TLM, the four mechanisms, and HBM-only.
 func (c Config) baselineBuilders(fast, slow dram.Spec) []builder {
 	return []builder{
-		{"TLM", stdLayout(), fast, slow, func(b *mech.Backend) mech.Mechanism {
+		{"TLM", mechKey("static", nil), stdLayout(), fast, slow, func(b *mech.Backend) mech.Mechanism {
 			return mech.NewStatic("TLM", b)
 		}},
-		{"MemPod", stdLayout(), fast, slow, func(b *mech.Backend) mech.Mechanism {
+		{"MemPod", mechKey("mempod", core.DefaultConfig()), stdLayout(), fast, slow, func(b *mech.Backend) mech.Mechanism {
 			return core.MustNew(core.DefaultConfig(), b)
 		}},
-		{"HMA", stdLayout(), fast, slow, func(b *mech.Backend) mech.Mechanism {
+		{"HMA", mechKey("hma", c.hmaConfig()), stdLayout(), fast, slow, func(b *mech.Backend) mech.Mechanism {
 			return hma.MustNew(c.hmaConfig(), b)
 		}},
-		{"THM", stdLayout(), fast, slow, func(b *mech.Backend) mech.Mechanism {
+		{"THM", mechKey("thm", thm.DefaultConfig()), stdLayout(), fast, slow, func(b *mech.Backend) mech.Mechanism {
 			return thm.MustNew(thm.DefaultConfig(), b)
 		}},
-		{"CAMEO", stdLayout(), fast, slow, func(b *mech.Backend) mech.Mechanism {
+		{"CAMEO", mechKey("cameo", cameo.DefaultConfig()), stdLayout(), fast, slow, func(b *mech.Backend) mech.Mechanism {
 			return cameo.MustNew(cameo.DefaultConfig(), b)
 		}},
-		{"HBM-only", hbmOnlyLayout(), fast, slow, func(b *mech.Backend) mech.Mechanism {
+		{"HBM-only", mechKey("static", nil), hbmOnlyLayout(), fast, slow, func(b *mech.Backend) mech.Mechanism {
 			return mech.NewStatic("HBM-only", b)
 		}},
 	}
@@ -227,6 +271,42 @@ func (c Config) traceCache() *tracecache.Cache {
 	return t
 }
 
+// resultCache returns the config's shared result cache, a transient
+// disk-backed one when only ResultDir is set, or nil when result caching
+// is disabled.
+func (c Config) resultCache() *resultcache.Cache {
+	if c.Results != nil {
+		return c.Results
+	}
+	if c.ResultDir == "" {
+		return nil
+	}
+	r := resultcache.New()
+	r.SetDir(c.ResultDir)
+	return r
+}
+
+// cellKey is the complete causal identity of the (workload, builder)
+// simulation cell under this config: engine version, canonical mechanism
+// config, both memory-spec fingerprints, layout geometry, and the exact
+// generated trace (workload recipe name + length + seed). Anything that
+// could change the cell's numbers is in here; execution shape
+// (Parallelism, PodShards) deliberately is not — the differential suites
+// prove those bit-identical.
+func (c Config) cellKey(w workload.Workload, b builder) resultcache.CellKey {
+	return resultcache.CellKey{
+		SimVersion: sim.Version,
+		Kind:       resultcache.KindResult,
+		Mech:       b.ckey,
+		FastFP:     b.fast.Fingerprint(),
+		SlowFP:     b.slow.Fingerprint(),
+		Layout:     fmt.Sprintf("%+v", b.layout),
+		Workload:   w.Name,
+		Requests:   c.Requests,
+		Seed:       c.Seed,
+	}
+}
+
 // traceKey identifies w's generated trace under this config. Workload
 // names uniquely identify recipes in the evaluated set, so the name (with
 // the length and seed) pins the exact request sequence.
@@ -247,14 +327,38 @@ func (c Config) acquireTrace(traces *tracecache.Cache, w workload.Workload, uses
 	})
 }
 
-// run executes one (workload, builder) cell. Every piece of mutable state
-// — memory system, backend, mechanism, engine, replay cursor — is
+// run executes one (workload, builder) cell, consulting the result cache
+// when one is configured. The cached path returns without touching the
+// trace cache at all (cached cells are excluded from trace use counts by
+// matrix's probe pass); the display name is applied after the cache
+// consult, because one cached cell can serve under different labels
+// (Fig6's "MemPod#7" and Fig7's "MemPod#3" may be the same design point).
+func (c Config) run(w workload.Workload, b builder, traces *tracecache.Cache, uses, shards int, results *resultcache.Cache) (stats.Result, error) {
+	simulate := func() (stats.Result, error) {
+		return c.simulate(w, b, traces, uses, shards)
+	}
+	var res stats.Result
+	var err error
+	if results != nil {
+		res, err = results.ResultCell(c.cellKey(w, b), simulate)
+	} else {
+		res, err = simulate()
+	}
+	if err != nil {
+		return stats.Result{}, err
+	}
+	res.Mechanism = b.name
+	return res, nil
+}
+
+// simulate computes one (workload, builder) cell. Every piece of mutable
+// state — memory system, backend, mechanism, engine, replay cursor — is
 // constructed here, inside the cell; cells share only the read-only Config
 // and builder values plus the recorded trace snapshot, which is immutable
 // after capture (each cell replays it through its own cursor). That
 // isolation is what makes matrix safe to fan out across goroutines
 // (asserted by TestMatrixParallelDeterminism and the race detector in CI).
-func (c Config) run(w workload.Workload, b builder, traces *tracecache.Cache, uses, shards int) (stats.Result, error) {
+func (c Config) simulate(w workload.Workload, b builder, traces *tracecache.Cache, uses, shards int) (stats.Result, error) {
 	snap, release, err := c.acquireTrace(traces, w, uses)
 	if err != nil {
 		return stats.Result{}, err
@@ -276,12 +380,7 @@ func (c Config) run(w workload.Workload, b builder, traces *tracecache.Cache, us
 	// the plane is computed once per (snapshot, layout) and shared by every
 	// cell replaying it, so the matrix decodes each trace once, not once per
 	// mechanism (see trace.Snapshot.Plane).
-	res, err := engine.Run(w.Name, snap.DecodedStream(&backend.Geom))
-	if err != nil {
-		return stats.Result{}, err
-	}
-	res.Mechanism = b.name
-	return res, nil
+	return engine.Run(w.Name, snap.DecodedStream(&backend.Geom))
 }
 
 // matrix runs every workload under every builder on c.Parallelism workers
@@ -303,9 +402,30 @@ func (c Config) run(w workload.Workload, b builder, traces *tracecache.Cache, us
 // matrix spans (asserted by TestMatrixSnapshotResidencyBounded).
 func (c Config) matrix(builders []builder) (map[string]map[string]stats.Result, error) {
 	traces := c.traceCache()
+	results := c.resultCache()
+	// Trace snapshots are use-counted exactly, so the count must cover the
+	// cells that will actually simulate: probe the result cache for every
+	// cell first (a successful probe pins the entry resident, guaranteeing
+	// the later lookup hits without re-reading the store) and count one
+	// trace use per distinct missing cell key. Duplicate keys inside one
+	// matrix collapse to a single use — the cache runs them single-flight,
+	// so only the first acquires the trace.
 	uses := make(map[tracecache.Key]int, len(c.Workloads))
+	probing := make(map[string]bool)
 	for _, w := range c.Workloads {
-		uses[c.traceKey(w)] += len(builders)
+		for _, b := range builders {
+			if results == nil {
+				uses[c.traceKey(w)]++
+				continue
+			}
+			key := c.cellKey(w, b)
+			canon := key.Canonical()
+			if probing[canon] || results.Probe(key) {
+				continue
+			}
+			probing[canon] = true
+			uses[c.traceKey(w)]++
+		}
 	}
 	// Split the machine between the cell pool and each cell's pod workers:
 	// whatever parallelism the pool cannot use (few cells, small -j) goes
@@ -326,7 +446,7 @@ func (c Config) matrix(builders []builder) (map[string]map[string]stats.Result, 
 				// workload=mix3) isolates one cell's share.
 				Labels: []string{"mechanism", b.name, "workload", w.Name},
 				Run: func() (stats.Result, error) {
-					return c.run(w, b, traces, uses[c.traceKey(w)], shards)
+					return c.run(w, b, traces, uses[c.traceKey(w)], shards, results)
 				},
 			})
 		}

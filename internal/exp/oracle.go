@@ -51,8 +51,14 @@ type OracleResult struct {
 // last declared use. Results keep workload order.
 func (c Config) OracleStudy() ([]OracleResult, error) {
 	traces := c.traceCache()
+	rcache := c.resultCache()
+	// Like matrix: probe the result cache first so trace use counts cover
+	// exactly the workloads whose oracle pass will actually replay.
 	uses := make(map[tracecache.Key]int, len(c.Workloads))
 	for _, w := range c.Workloads {
+		if rcache != nil && rcache.Probe(c.oracleKey(w)) {
+			continue
+		}
 		uses[c.traceKey(w)]++
 	}
 	tasks := make([]runner.Task[OracleResult], len(c.Workloads))
@@ -62,7 +68,7 @@ func (c Config) OracleStudy() ([]OracleResult, error) {
 			Key:    "oracle/" + w.Name,
 			Labels: []string{"mechanism", "oracle", "workload", w.Name},
 			Run: func() (OracleResult, error) {
-				return c.oracleOne(w, traces, uses[c.traceKey(w)])
+				return c.oracleCell(w, traces, uses[c.traceKey(w)], rcache)
 			},
 		}
 	}

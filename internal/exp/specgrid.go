@@ -38,20 +38,27 @@ var specGridOrder = []string{"MemPod", "HMA", "THM", "CAMEO", "Migrant"}
 func (c Config) SpecGrid() (*report.Table, error) {
 	var builders []builder
 	for _, pair := range SpecPairs {
-		fast, slow := dram.MustPreset(pair[0]), dram.MustPreset(pair[1])
+		fast, err := dram.Preset(pair[0])
+		if err != nil {
+			return nil, fmt.Errorf("exp: specgrid: fast spec: %w", err)
+		}
+		slow, err := dram.Preset(pair[1])
+		if err != nil {
+			return nil, fmt.Errorf("exp: specgrid: slow spec: %w", err)
+		}
 		prefix := pair[0] + "+" + pair[1]
-		add := func(mechName string, mk func(b *mech.Backend) mech.Mechanism) {
+		add := func(mechName, ckey string, mk func(b *mech.Backend) mech.Mechanism) {
 			builders = append(builders, builder{
-				name: prefix + "/" + mechName, layout: stdLayout(),
+				name: prefix + "/" + mechName, ckey: ckey, layout: stdLayout(),
 				fast: fast, slow: slow, make: mk,
 			})
 		}
-		add("TLM", func(b *mech.Backend) mech.Mechanism { return mech.NewStatic("TLM", b) })
-		add("MemPod", func(b *mech.Backend) mech.Mechanism { return core.MustNew(core.DefaultConfig(), b) })
-		add("HMA", func(b *mech.Backend) mech.Mechanism { return hma.MustNew(c.hmaConfig(), b) })
-		add("THM", func(b *mech.Backend) mech.Mechanism { return thm.MustNew(thm.DefaultConfig(), b) })
-		add("CAMEO", func(b *mech.Backend) mech.Mechanism { return cameo.MustNew(cameo.DefaultConfig(), b) })
-		add("Migrant", func(b *mech.Backend) mech.Mechanism { return migrant.MustNew(migrant.DefaultConfig(), b) })
+		add("TLM", mechKey("static", nil), func(b *mech.Backend) mech.Mechanism { return mech.NewStatic("TLM", b) })
+		add("MemPod", mechKey("mempod", core.DefaultConfig()), func(b *mech.Backend) mech.Mechanism { return core.MustNew(core.DefaultConfig(), b) })
+		add("HMA", mechKey("hma", c.hmaConfig()), func(b *mech.Backend) mech.Mechanism { return hma.MustNew(c.hmaConfig(), b) })
+		add("THM", mechKey("thm", thm.DefaultConfig()), func(b *mech.Backend) mech.Mechanism { return thm.MustNew(thm.DefaultConfig(), b) })
+		add("CAMEO", mechKey("cameo", cameo.DefaultConfig()), func(b *mech.Backend) mech.Mechanism { return cameo.MustNew(cameo.DefaultConfig(), b) })
+		add("Migrant", mechKey("migrant", migrant.DefaultConfig()), func(b *mech.Backend) mech.Mechanism { return migrant.MustNew(migrant.DefaultConfig(), b) })
 	}
 	res, err := c.matrix(builders)
 	if err != nil {

@@ -40,8 +40,7 @@ func TestSpecGridShape(t *testing.T) {
 
 // TestSpecPairSelection checks Config.FastSpec/SlowSpec reach the
 // simulated memory: the NVM pair must produce a different Fig8 baseline
-// than the paper pair, and unknown names must panic with the registry's
-// error naming the valid options.
+// than the paper pair.
 func TestSpecPairSelection(t *testing.T) {
 	if testing.Short() {
 		t.Skip("matrix")
@@ -64,19 +63,62 @@ func TestSpecPairSelection(t *testing.T) {
 	if !strings.Contains(nvm.String(), "NVM-PCM") {
 		t.Errorf("table title does not name the resolved spec:\n%s", nvm.String())
 	}
+}
 
-	c.SlowSpec = "GDDR7"
-	defer func() {
-		r := recover()
-		if r == nil {
-			t.Fatal("unknown SlowSpec did not panic")
+// TestUnknownSpecErrors pins the unknown-spec-name contract: every
+// experiment that resolves Config.FastSpec/SlowSpec returns an error —
+// never panics — naming the experiment, the bad spec, and the registry's
+// valid options. No simulation runs, so even DefaultConfig is instant.
+func TestUnknownSpecErrors(t *testing.T) {
+	experiments := []struct {
+		name string
+		run  func(Config) error
+	}{
+		{"fig6", func(c Config) error { _, err := c.Fig6(); return err }},
+		{"fig7", func(c Config) error { _, err := c.Fig7(); return err }},
+		{"fig8", func(c Config) error { _, err := c.Fig8(); return err }},
+		{"fig9", func(c Config) error { _, err := c.Fig9(); return err }},
+		{"energy", func(c Config) error { _, err := c.EnergyTable(); return err }},
+		{"ablation-pods", func(c Config) error { _, err := c.PodSweep(); return err }},
+		{"ablation-tracker", func(c Config) error { _, err := c.TrackerSweep(); return err }},
+		{"best-config-check", func(c Config) error { _, _, err := c.BestConfigCheck(); return err }},
+	}
+	specs := []struct {
+		name       string
+		fast, slow string
+		bad        string
+	}{
+		{"bad fast", "GDDR7", "", "GDDR7"},
+		{"bad slow", "", "GDDR7", "GDDR7"},
+		{"bad both reports fast first", "LPDDR6", "GDDR7", "LPDDR6"},
+	}
+	for _, e := range experiments {
+		for _, s := range specs {
+			t.Run(e.name+"/"+s.name, func(t *testing.T) {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panicked instead of returning an error: %v", r)
+					}
+				}()
+				c := QuickConfig()
+				c.FastSpec, c.SlowSpec = s.fast, s.slow
+				err := e.run(c)
+				if err == nil {
+					t.Fatal("unknown spec accepted")
+				}
+				msg := err.Error()
+				if !strings.Contains(msg, "exp: "+e.name+":") {
+					t.Errorf("error %q does not carry the experiment name %q", msg, e.name)
+				}
+				if !strings.Contains(msg, s.bad) {
+					t.Errorf("error %q does not name the bad spec %q", msg, s.bad)
+				}
+				if !strings.Contains(msg, "DDR5-4800") {
+					t.Errorf("error %q does not list the registry's valid options", msg)
+				}
+			})
 		}
-		msg := r.(error).Error()
-		if !strings.Contains(msg, "GDDR7") || !strings.Contains(msg, "DDR5-4800") {
-			t.Errorf("panic %q does not name the bad spec and the valid options", msg)
-		}
-	}()
-	c.Fig8()
+	}
 }
 
 // TestOracleSpecInvariant pins the oracle study's spec coverage: the §3

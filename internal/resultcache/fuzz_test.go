@@ -1,0 +1,39 @@
+package resultcache
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCellKeyDecode throws arbitrary bytes at the MPR1 frame and key
+// decoders and checks the invariants the cache relies on:
+//
+//   - DecodeFile never panics and never returns both a nil error and a
+//     key that fails to re-encode byte-identically (re-framing the parsed
+//     key with the parsed payload must reproduce the input).
+//   - ParseKey never panics, and any accepted key round-trips exactly
+//     through Canonical.
+func FuzzCellKeyDecode(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte(fileMagic))
+	f.Add([]byte("MPR0junk"))
+	f.Add([]byte(testKey().Canonical()))
+	f.Add(EncodeFile(testKey(), nil))
+	f.Add(EncodeFile(testKey(), EncodeResult(testResult())))
+	f.Add(EncodeFile(CellKey{Kind: "oracle/v1", Workload: "a b%20c/d\xffe", Seed: -1}, []byte{1, 2, 3}))
+	long := EncodeFile(testKey(), make([]byte, 300))
+	f.Add(long[:len(long)-5])
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if key, payload, err := DecodeFile(b); err == nil {
+			if reframed := EncodeFile(key, payload); !bytes.Equal(reframed, b) {
+				t.Fatalf("accepted file does not re-encode identically:\nin  %x\nout %x", b, reframed)
+			}
+		}
+		if key, err := ParseKey(string(b)); err == nil {
+			if canon := key.Canonical(); canon != string(b) {
+				t.Fatalf("accepted key does not round-trip:\nin  %q\nout %q", b, canon)
+			}
+		}
+	})
+}

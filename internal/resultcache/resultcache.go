@@ -1,0 +1,271 @@
+// Package resultcache memoizes simulation cell results across runs and
+// processes: a persistent, content-addressed store keyed by the complete
+// causal identity of a cell (CellKey — mechanism config, memory-spec
+// fingerprints, layout geometry, trace identity, engine version).
+//
+// The design-space grids recompute thousands of cells whose inputs never
+// changed; with every input fingerprinted, the next order-of-magnitude
+// win over the batched engine is not running the cell at all. The cache
+// follows internal/tracecache's shape — single-flight generation, a
+// SetDir disk store with atomic writes — but holds results resident for
+// the process lifetime instead of use-counting them: a cell result is a
+// few hundred bytes, so even a full evaluation's worth stays trivially
+// small, and residency is what lets overlapping figures (Fig6/Fig7 share
+// MemPod design points) dedupe against each other in one process.
+//
+// Correctness stance: a cache must never fail or change a run. Every
+// malformed, truncated, stale-versioned or wrong-keyed store file is a
+// miss that recomputes and overwrites; the only errors GetOrRun returns
+// are the compute function's own.
+package resultcache
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits      int // calls served without running the compute function
+	Misses    int // calls that computed the cell
+	DiskLoads int // store files read and verified successfully
+	Stale     int // store files rejected: corrupt, stale version, wrong key
+	Persisted int // store files written
+
+	BytesRead    int64 // store bytes read (including rejected files)
+	BytesWritten int64 // store bytes written
+}
+
+// Cache is a single-flight, content-addressed result cache. The zero
+// value is not usable; call New. All methods are safe for concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*entry // by canonical key
+	stats   Stats
+	dir     string
+}
+
+type entry struct {
+	ready   chan struct{} // closed once payload/err are set
+	payload []byte
+	err     error
+}
+
+// New returns an empty in-memory cache.
+func New() *Cache {
+	return &Cache{entries: make(map[string]*entry)}
+}
+
+// SetDir enables the disk store rooted at dir (which must exist). Each
+// result is one MPR1 file named by the key fingerprint; files are written
+// atomically (temp file + rename), so concurrent processes sharing a
+// store directory see either a complete old file or a complete new one,
+// and the worst cross-process race is both computing the same cell once.
+func (c *Cache) SetDir(dir string) {
+	c.mu.Lock()
+	c.dir = dir
+	c.mu.Unlock()
+}
+
+// Dir returns the configured store directory ("" when memory-only).
+func (c *Cache) Dir() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dir
+}
+
+// storePath is the store filename for a key. Distinct keys can collide on
+// a fingerprint in principle; the embedded canonical key disambiguates at
+// read time (a mismatch is a stale miss, never a wrong hit).
+func (c *Cache) storePath(dir string, key CellKey) string {
+	return filepath.Join(dir, filepathName(key))
+}
+
+func filepathName(key CellKey) string {
+	const hex = "0123456789abcdef"
+	fp := key.Fingerprint()
+	name := make([]byte, 16, 16+5)
+	for i := 15; i >= 0; i-- {
+		name[i] = hex[fp&0xf]
+		fp >>= 4
+	}
+	return string(append(name, ".mpr1"...))
+}
+
+// loadStored tries the store file for key. It returns the payload and
+// true only for a complete, checksummed file whose embedded canonical key
+// matches exactly — anything else (absent, truncated, corrupt, different
+// sim version, fingerprint-colliding neighbor) counts Stale when file
+// bytes existed and reports a miss.
+func (c *Cache) loadStored(dir string, key CellKey) ([]byte, bool) {
+	b, err := os.ReadFile(c.storePath(dir, key))
+	if err != nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	c.stats.BytesRead += int64(len(b))
+	c.mu.Unlock()
+	stored, payload, err := DecodeFile(b)
+	if err != nil || stored != key {
+		c.mu.Lock()
+		c.stats.Stale++
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.mu.Lock()
+	c.stats.DiskLoads++
+	c.mu.Unlock()
+	return payload, true
+}
+
+// persist writes the framed entry atomically next to its final name.
+func (c *Cache) persist(dir string, key CellKey, payload []byte) {
+	framed := EncodeFile(key, payload)
+	path := c.storePath(dir, key)
+	tmp, err := os.CreateTemp(dir, ".mpr-*")
+	if err != nil {
+		return
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(framed); err != nil {
+		tmp.Close()
+		return
+	}
+	if tmp.Close() != nil {
+		return
+	}
+	if os.Rename(tmp.Name(), path) != nil {
+		return
+	}
+	c.mu.Lock()
+	c.stats.Persisted++
+	c.stats.BytesWritten += int64(len(framed))
+	c.mu.Unlock()
+}
+
+// Probe reports whether key would hit: resident in memory, in flight, or
+// loadable from the store (in which case the entry is pinned resident, so
+// a subsequent GetOrRun is guaranteed to hit without touching the disk
+// again). Probe itself never counts a Hit or Miss; callers use it to plan
+// work — the experiment matrix probes every cell first so trace-snapshot
+// use counts cover exactly the cells that will simulate.
+func (c *Cache) Probe(key CellKey) bool {
+	canon := key.Canonical()
+	c.mu.Lock()
+	_, ok := c.entries[canon]
+	dir := c.dir
+	c.mu.Unlock()
+	if ok {
+		return true
+	}
+	if dir == "" {
+		return false
+	}
+	payload, ok := c.loadStored(dir, key)
+	if !ok {
+		return false
+	}
+	e := &entry{ready: make(chan struct{}), payload: payload}
+	close(e.ready)
+	c.mu.Lock()
+	// Another goroutine may have raced an entry in; keep the first.
+	if _, exists := c.entries[canon]; !exists {
+		c.entries[canon] = e
+	}
+	c.mu.Unlock()
+	return true
+}
+
+// GetOrRun returns key's payload, serving it from memory or the disk
+// store, or computing it with run on a miss (then pinning it resident and
+// persisting it when a store is configured). Concurrent calls for one key
+// are single-flight: the first runs, the rest wait for its outcome. If
+// run fails, every waiter receives the error and the entry is forgotten,
+// so a later call retries.
+func (c *Cache) GetOrRun(key CellKey, run func() ([]byte, error)) ([]byte, error) {
+	canon := key.Canonical()
+	c.mu.Lock()
+	if e, ok := c.entries[canon]; ok {
+		c.stats.Hits++
+		c.mu.Unlock()
+		<-e.ready
+		return e.payload, e.err
+	}
+	e := &entry{ready: make(chan struct{})}
+	c.entries[canon] = e
+	dir := c.dir
+	c.mu.Unlock()
+
+	payload, fromDisk := []byte(nil), false
+	if dir != "" {
+		payload, fromDisk = c.loadStored(dir, key)
+	}
+	var err error
+	if !fromDisk {
+		payload, err = run()
+	}
+	c.mu.Lock()
+	if fromDisk {
+		c.stats.Hits++
+	} else {
+		c.stats.Misses++
+	}
+	e.payload, e.err = payload, err
+	if err != nil {
+		delete(c.entries, canon)
+	}
+	c.mu.Unlock()
+	close(e.ready)
+	if err != nil {
+		return nil, err
+	}
+	if !fromDisk && dir != "" {
+		c.persist(dir, key, payload)
+	}
+	return payload, nil
+}
+
+// ResultCell is GetOrRun specialized to KindResult payloads: compute is a
+// simulation cell returning stats.Result, and cached payloads decode back
+// field-identically. A resident payload that fails to decode (impossible
+// for entries this process wrote; conceivable for a hand-edited store
+// mid-run) recomputes rather than erroring, preserving the
+// cache-never-fails-a-run stance.
+func (c *Cache) ResultCell(key CellKey, run func() (stats.Result, error)) (stats.Result, error) {
+	payload, err := c.GetOrRun(key, func() ([]byte, error) {
+		r, err := run()
+		if err != nil {
+			return nil, err
+		}
+		return EncodeResult(r), nil
+	})
+	if err != nil {
+		return stats.Result{}, err
+	}
+	r, derr := DecodeResult(payload)
+	if derr == nil {
+		return r, nil
+	}
+	// Undecodable resident entry: evict and recompute once, bypassing the
+	// poisoned bytes, and heal the store with the fresh result.
+	c.mu.Lock()
+	delete(c.entries, key.Canonical())
+	c.stats.Stale++
+	dir := c.dir
+	c.mu.Unlock()
+	r, err = run()
+	if err == nil && dir != "" {
+		c.persist(dir, key, EncodeResult(r))
+	}
+	return r, err
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

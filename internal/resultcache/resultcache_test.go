@@ -1,0 +1,456 @@
+package resultcache
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/mech"
+	"repro/internal/stats"
+)
+
+func testKey() CellKey {
+	return CellKey{
+		SimVersion: 1,
+		Kind:       KindResult,
+		Mech:       "mempod:{Interval:50000000000 Counters:64 CounterBits:2 CacheBytes:0 CacheWays:0 UseFullCounters:false}",
+		FastFP:     0x0123456789abcdef,
+		SlowFP:     0xfedcba9876543210,
+		Layout:     "{FastBytes:1073741824 SlowBytes:8589934592 FastChannels:8 SlowChannels:4 NumPods:4 FastRowBytes:8192 SlowRowBytes:8192}",
+		Workload:   "mix5",
+		Requests:   150_000,
+		Seed:       42,
+	}
+}
+
+func testResult() stats.Result {
+	return stats.Result{
+		Workload: "mix5", Mechanism: "MemPod",
+		Requests: 150_000, TotalStall: 12345678 * clock.Nanosecond,
+		Span: 99 * clock.Microsecond, FastAccesses: 140_000, SlowAccesses: 17_000,
+		FastActivations: 4200, SlowActivations: 910,
+		FastRowHitRate: 0.91, SlowRowHitRate: 0.42, RowHitRate: 0.87,
+		Mig: mech.MigStats{
+			Intervals: 33, PageMigrations: 512, LineMigrations: 512 * 32,
+			BytesMoved: 512 * 2048, CacheHits: 7, CacheMisses: 3,
+			LockStalls: 12, DroppedMigrations: 1, GlobalMoveLines: 0,
+		},
+	}
+}
+
+func TestKeyCanonicalRoundTrip(t *testing.T) {
+	keys := []CellKey{
+		{},
+		testKey(),
+		{Kind: "oracle/v1", Mech: "oracle:128x4b", Workload: "name with spaces + %=signs\nnewline", Requests: -3, Seed: -42, Window: -1},
+		{SimVersion: 1 << 30, FastFP: ^uint64(0), TraceFP: 1},
+	}
+	for i, k := range keys {
+		canon := k.Canonical()
+		if strings.ContainsAny(canon, "\n\r") {
+			t.Fatalf("key %d: canonical form contains a newline: %q", i, canon)
+		}
+		got, err := ParseKey(canon)
+		if err != nil {
+			t.Fatalf("key %d: ParseKey(%q): %v", i, canon, err)
+		}
+		if got != k {
+			t.Fatalf("key %d round-trip: got %+v want %+v", i, got, k)
+		}
+	}
+}
+
+func TestKeyParseRejects(t *testing.T) {
+	good := testKey().Canonical()
+	bad := []string{
+		"",
+		"k0 " + strings.TrimPrefix(good, "k1 "),
+		good + " extra=1",
+		strings.Replace(good, "sim=", "sum=", 1),
+		strings.Replace(good, "fast=", "fast=zz", 1),
+	}
+	for _, s := range bad {
+		if _, err := ParseKey(s); err == nil {
+			t.Errorf("ParseKey(%q) accepted malformed key", s)
+		}
+	}
+}
+
+func TestKeyFingerprintSeparates(t *testing.T) {
+	base := testKey()
+	variants := []func(*CellKey){
+		func(k *CellKey) { k.SimVersion++ },
+		func(k *CellKey) { k.Kind = "other/v1" },
+		func(k *CellKey) { k.Mech += "x" },
+		func(k *CellKey) { k.FastFP++ },
+		func(k *CellKey) { k.SlowFP++ },
+		func(k *CellKey) { k.Layout += "x" },
+		func(k *CellKey) { k.Workload = "mix6" },
+		func(k *CellKey) { k.Requests++ },
+		func(k *CellKey) { k.Seed++ },
+		func(k *CellKey) { k.TraceFP++ },
+		func(k *CellKey) { k.Window++ },
+	}
+	seen := map[uint64]string{base.Fingerprint(): base.Canonical()}
+	for i, mutate := range variants {
+		k := base
+		mutate(&k)
+		if k == base {
+			t.Fatalf("variant %d did not change the key", i)
+		}
+		fp := k.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Fatalf("variant %d: fingerprint collision between %q and %q", i, prev, k.Canonical())
+		}
+		seen[fp] = k.Canonical()
+	}
+}
+
+func TestResultCodecRoundTrip(t *testing.T) {
+	want := testResult()
+	got, err := DecodeResult(EncodeResult(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round-trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+	if zero, err := DecodeResult(EncodeResult(stats.Result{})); err != nil || !reflect.DeepEqual(zero, stats.Result{}) {
+		t.Fatalf("zero-value round-trip: %+v, %v", zero, err)
+	}
+}
+
+// TestResultCodecCoversEveryField is the codec's canary: if stats.Result
+// or mech.MigStats grows a field, this count changes and the codec (plus
+// the KindResult version) must be updated in the same commit — otherwise
+// the new field would silently decode as zero from old cache entries.
+func TestResultCodecCoversEveryField(t *testing.T) {
+	if n := reflect.TypeOf(stats.Result{}).NumField(); n != 13 {
+		t.Fatalf("stats.Result has %d fields; extend the KindResult codec and bump its version", n)
+	}
+	if n := reflect.TypeOf(mech.MigStats{}).NumField(); n != 9 {
+		t.Fatalf("mech.MigStats has %d fields; extend the KindResult codec and bump its version", n)
+	}
+}
+
+func TestResultCodecRejectsMalformed(t *testing.T) {
+	good := EncodeResult(testResult())
+	if _, err := DecodeResult(good[:len(good)-1]); err == nil {
+		t.Error("truncated payload accepted")
+	}
+	if _, err := DecodeResult(append(append([]byte(nil), good...), 0)); err == nil {
+		t.Error("oversized payload accepted")
+	}
+	if _, err := DecodeResult(nil); err == nil {
+		t.Error("empty payload accepted")
+	}
+}
+
+func TestFileFrameRoundTrip(t *testing.T) {
+	key := testKey()
+	payload := EncodeResult(testResult())
+	framed := EncodeFile(key, payload)
+	gotKey, gotPayload, err := DecodeFile(framed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotKey != key {
+		t.Fatalf("key mismatch: %+v", gotKey)
+	}
+	if !reflect.DeepEqual(gotPayload, payload) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestFileFrameRejectsCorruption(t *testing.T) {
+	framed := EncodeFile(testKey(), EncodeResult(testResult()))
+	for _, tc := range []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"empty", func(b []byte) []byte { return nil }},
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }},
+		{"truncated header", func(b []byte) []byte { return b[:3] }},
+		{"truncated key", func(b []byte) []byte { return b[:8] }},
+		{"truncated checksum", func(b []byte) []byte { return b[:len(b)-1] }},
+		{"trailing byte", func(b []byte) []byte { return append(b, 0) }},
+		{"flipped payload bit", func(b []byte) []byte { b[len(b)-9] ^= 1; return b }},
+		{"flipped key byte", func(b []byte) []byte { b[7] ^= 0x20; return b }},
+	} {
+		b := tc.mut(append([]byte(nil), framed...))
+		if _, _, err := DecodeFile(b); !errors.Is(err, ErrBadFile) {
+			t.Errorf("%s: want ErrBadFile, got %v", tc.name, err)
+		}
+	}
+}
+
+func TestCacheMissThenHit(t *testing.T) {
+	c := New()
+	key := testKey()
+	runs := 0
+	run := func() (stats.Result, error) { runs++; return testResult(), nil }
+	for i := 0; i < 3; i++ {
+		got, err := c.ResultCell(key, run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, testResult()) {
+			t.Fatalf("call %d: wrong result %+v", i, got)
+		}
+	}
+	if runs != 1 {
+		t.Fatalf("compute ran %d times, want 1", runs)
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits != 2 || s.Stale != 0 {
+		t.Fatalf("stats %+v, want 1 miss / 2 hits", s)
+	}
+}
+
+func TestCacheErrorForgetsEntry(t *testing.T) {
+	c := New()
+	key := testKey()
+	boom := errors.New("boom")
+	if _, err := c.ResultCell(key, func() (stats.Result, error) { return stats.Result{}, boom }); !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	got, err := c.ResultCell(key, func() (stats.Result, error) { return testResult(), nil })
+	if err != nil || !reflect.DeepEqual(got, testResult()) {
+		t.Fatalf("retry after error: %+v, %v", got, err)
+	}
+}
+
+func TestCacheSingleFlight(t *testing.T) {
+	c := New()
+	key := testKey()
+	const waiters = 50
+	var mu sync.Mutex
+	runs := 0
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-gate
+			got, err := c.ResultCell(key, func() (stats.Result, error) {
+				mu.Lock()
+				runs++
+				mu.Unlock()
+				return testResult(), nil
+			})
+			if err != nil || got.Requests != testResult().Requests {
+				t.Errorf("concurrent get: %+v, %v", got, err)
+			}
+		}()
+	}
+	close(gate)
+	wg.Wait()
+	if runs != 1 {
+		t.Fatalf("compute ran %d times under contention, want 1", runs)
+	}
+	s := c.Stats()
+	if s.Hits+s.Misses != waiters || s.Misses != 1 {
+		t.Fatalf("stats %+v, want %d total with 1 miss", s, waiters)
+	}
+}
+
+func TestCacheDiskPersistAndReload(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey()
+
+	cold := New()
+	cold.SetDir(dir)
+	if _, err := cold.ResultCell(key, func() (stats.Result, error) { return testResult(), nil }); err != nil {
+		t.Fatal(err)
+	}
+	if s := cold.Stats(); s.Persisted != 1 || s.BytesWritten == 0 {
+		t.Fatalf("cold stats %+v, want one persisted file", s)
+	}
+
+	// A fresh cache instance over the same dir models a new process.
+	warm := New()
+	warm.SetDir(dir)
+	got, err := warm.ResultCell(key, func() (stats.Result, error) {
+		t.Fatal("warm cache recomputed")
+		return stats.Result{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, testResult()) {
+		t.Fatalf("warm result mismatch: %+v", got)
+	}
+	if s := warm.Stats(); s.Hits != 1 || s.DiskLoads != 1 || s.Misses != 0 {
+		t.Fatalf("warm stats %+v, want one disk hit", s)
+	}
+}
+
+// TestCacheStaleness pins the invalidation rules: a sim-version bump, a
+// spec-fingerprint change, or any key difference must miss; the stale
+// file is overwritten, not served and not an error.
+func TestCacheStaleness(t *testing.T) {
+	dir := t.TempDir()
+	base := testKey()
+	seed := New()
+	seed.SetDir(dir)
+	if _, err := seed.ResultCell(base, func() (stats.Result, error) { return testResult(), nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	bumped := base
+	bumped.SimVersion++
+	fresh := stats.Result{Workload: "mix5", Requests: 1}
+	c := New()
+	c.SetDir(dir)
+	got, err := c.ResultCell(bumped, func() (stats.Result, error) { return fresh, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, fresh) {
+		t.Fatalf("stale version served cached result: %+v", got)
+	}
+	if s := c.Stats(); s.Misses != 1 || s.Hits != 0 {
+		t.Fatalf("stats after version bump %+v, want a miss", s)
+	}
+
+	// Hand-rename a valid file onto another key's fingerprint: the
+	// embedded key mismatch must reject it (counted Stale).
+	victim := base
+	victim.Workload = "mix6"
+	if err := os.Rename(c.storePath(dir, base), c.storePath(dir, victim)); err != nil {
+		t.Fatal(err)
+	}
+	c2 := New()
+	c2.SetDir(dir)
+	got, err = c2.ResultCell(victim, func() (stats.Result, error) { return fresh, nil })
+	if err != nil || !reflect.DeepEqual(got, fresh) {
+		t.Fatalf("wrong-key file served: %+v, %v", got, err)
+	}
+	if s := c2.Stats(); s.Stale != 1 || s.Misses != 1 {
+		t.Fatalf("stats after wrong-key file %+v, want 1 stale + 1 miss", s)
+	}
+}
+
+// TestCacheCorruptionRegenerates truncates and bit-flips store files; the
+// cache must recompute and overwrite with a good file, never error.
+func TestCacheCorruptionRegenerates(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"bit flip", func(b []byte) []byte { b[len(b)/2] ^= 0x40; return b }},
+		{"zeroed", func(b []byte) []byte { return make([]byte, len(b)) }},
+		{"empty", func(b []byte) []byte { return nil }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			key := testKey()
+			seed := New()
+			seed.SetDir(dir)
+			if _, err := seed.ResultCell(key, func() (stats.Result, error) { return testResult(), nil }); err != nil {
+				t.Fatal(err)
+			}
+			path := seed.storePath(dir, key)
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.mut(b), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			c := New()
+			c.SetDir(dir)
+			got, err := c.ResultCell(key, func() (stats.Result, error) { return testResult(), nil })
+			if err != nil {
+				t.Fatalf("corrupt store errored the run: %v", err)
+			}
+			if !reflect.DeepEqual(got, testResult()) {
+				t.Fatalf("corrupt store produced %+v", got)
+			}
+			if s := c.Stats(); s.Misses != 1 {
+				t.Fatalf("stats %+v, want recompute", s)
+			}
+			// The store must have healed: a third instance hits cleanly.
+			c3 := New()
+			c3.SetDir(dir)
+			if _, err := c3.ResultCell(key, func() (stats.Result, error) {
+				t.Error("healed store still recomputes")
+				return stats.Result{}, nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestCacheProbePinsDiskEntries(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey()
+	seed := New()
+	seed.SetDir(dir)
+	if _, err := seed.ResultCell(key, func() (stats.Result, error) { return testResult(), nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	c := New()
+	c.SetDir(dir)
+	other := key
+	other.Workload = "absent"
+	if c.Probe(other) {
+		t.Fatal("Probe hit an absent key")
+	}
+	if !c.Probe(key) {
+		t.Fatal("Probe missed a stored key")
+	}
+	// Deleting the file after a successful probe must not matter: the
+	// probe pinned the entry, so GetOrRun is guaranteed to hit.
+	if err := os.Remove(c.storePath(dir, key)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ResultCell(key, func() (stats.Result, error) {
+		t.Fatal("pinned probe entry recomputed")
+		return stats.Result{}, nil
+	})
+	if err != nil || !reflect.DeepEqual(got, testResult()) {
+		t.Fatalf("pinned entry: %+v, %v", got, err)
+	}
+	if s := c.Stats(); s.Hits != 1 || s.DiskLoads != 1 {
+		t.Fatalf("stats %+v, want probe-pinned hit", s)
+	}
+}
+
+func TestCacheReadOnlyStoreStillWorks(t *testing.T) {
+	if os.Getuid() == 0 {
+		t.Skip("root ignores directory permissions")
+	}
+	dir := t.TempDir()
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	c := New()
+	c.SetDir(dir)
+	got, err := c.ResultCell(testKey(), func() (stats.Result, error) { return testResult(), nil })
+	if err != nil || !reflect.DeepEqual(got, testResult()) {
+		t.Fatalf("read-only store failed the run: %+v, %v", got, err)
+	}
+}
+
+func TestStorePathNames(t *testing.T) {
+	c := New()
+	key := testKey()
+	path := c.storePath("store", key)
+	want := filepath.Join("store", fmt.Sprintf("%016x.mpr1", key.Fingerprint()))
+	if path != want {
+		t.Fatalf("storePath = %q, want %q", path, want)
+	}
+}

@@ -1,0 +1,25 @@
+package trace
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+)
+
+// Fingerprint returns the FNV-1a hash of the snapshot's content: the
+// request count and all four packed columns (times, addrs, writes,
+// cores). Two snapshots fingerprint equally iff they replay the same
+// request sequence, whatever their backing (recorded buffers, a read
+// file, or a memory mapping) — the columns are defined to be in MPS1
+// file layout in every case. Replay-result caches use this to identify
+// a trace whose generating recipe is unknown.
+func (s *Snapshot) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(s.n))
+	h.Write(n[:])
+	h.Write(s.times)
+	h.Write(s.addrs)
+	h.Write(s.writes)
+	h.Write(s.cores)
+	return h.Sum64()
+}

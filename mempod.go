@@ -119,6 +119,13 @@ type Options struct {
 	// worker count (capped at the pod count). Results are bit-identical
 	// for every value.
 	PodShards int
+	// Results, when non-nil, memoizes the run: if the cache holds this
+	// exact cell (same mechanism config, specs, layout, window and trace
+	// identity — see ResultCache), the stored result is returned without
+	// simulating, and fresh results are published for later runs. Custom
+	// workload definitions (RunCustom) are never cached — their names do
+	// not pin their content.
+	Results *ResultCache
 
 	MemPod  MemPodOptions
 	HMA     HMAOptions
@@ -180,22 +187,29 @@ func (o Options) specs() (fast, slow dram.Spec, err error) {
 	return dram.HBM(), dram.DDR4_1600(), nil
 }
 
+// layout returns the address layout the mechanism runs on: the standard
+// two-level geometry, or a single-level 9 GB geometry for the static
+// one-memory baselines.
+func (o Options) layout() addr.Layout {
+	switch o.Mechanism {
+	case MechHBMOnly:
+		return addr.Layout{FastBytes: 9 << 30, FastChannels: 8, NumPods: 4}
+	case MechDDROnly:
+		return addr.Layout{SlowBytes: 9 << 30, SlowChannels: 4, NumPods: 4}
+	}
+	return addr.DefaultLayout()
+}
+
 // runStream builds the memory system and mechanism selected by o and
 // drives the stream through it. Every entry point — generated workloads,
-// custom definitions, recorded trace replays — funnels through here.
+// custom definitions, recorded trace replays — funnels through here, via
+// cachedRun when the run is memoizable.
 func runStream(name string, s trace.Stream, o Options) (Result, error) {
 	fast, slow, err := o.specs()
 	if err != nil {
 		return Result{}, err
 	}
-	layout := addr.DefaultLayout()
-	switch o.Mechanism {
-	case MechHBMOnly:
-		layout = addr.Layout{FastBytes: 9 << 30, FastChannels: 8, NumPods: 4}
-	case MechDDROnly:
-		layout = addr.Layout{SlowBytes: 9 << 30, SlowChannels: 4, NumPods: 4}
-	}
-	sys, err := memsys.New(layout, fast, slow)
+	sys, err := memsys.New(o.layout(), fast, slow)
 	if err != nil {
 		return Result{}, err
 	}
@@ -227,11 +241,17 @@ func Run(workloadName string, o Options) (Result, error) {
 		return Result{}, err
 	}
 	o = o.withDefaults()
-	s, err := w.Stream(o.Requests, o.Seed)
-	if err != nil {
-		return Result{}, err
-	}
-	return runStream(w.Name, s, o)
+	// Generated runs are keyed symbolically — the (name, length, seed)
+	// recipe pins the exact request sequence — so a cache hit skips trace
+	// generation too, and the stream is only built on a miss.
+	id := cellIdentity{workload: w.Name, requests: o.Requests, seed: o.Seed, cacheable: true}
+	return cachedRun(o, id, func() (Result, error) {
+		s, err := w.Stream(o.Requests, o.Seed)
+		if err != nil {
+			return Result{}, err
+		}
+		return runStream(w.Name, s, o)
+	})
 }
 
 // RunCustom is Run for a user-defined workload: def is the JSON custom
@@ -355,62 +375,93 @@ func (t *Trace) Close() {
 
 // RunTrace replays a recorded trace under the mechanism selected by o.
 // o.Requests and o.Seed are ignored — the trace already fixes the request
-// sequence.
+// sequence. With o.Results set, the trace is identified by its content
+// fingerprint, so the same trace reloaded from a file in another process
+// still hits its cached cells.
 func RunTrace(t *Trace, o Options) (Result, error) {
 	o = o.withDefaults()
-	return runStream(t.name, t.snap.Stream(), o)
+	return cachedRun(o, traceIdentity(t, o), func() (Result, error) {
+		return runStream(t.name, t.snap.Stream(), o)
+	})
+}
+
+// mechConfig resolves the options into the mechanism's tag and fully
+// populated config struct, without constructing anything. The (tag, cfg)
+// pair is the mechanism's canonical identity: it parameterizes both
+// buildMechanism and the result-cache key, so a run and its cache entry
+// can never disagree about what was simulated. Static mechanisms have a
+// nil config — the layout distinguishes them.
+func (o Options) mechConfig() (tag string, cfg any, err error) {
+	switch o.Mechanism {
+	case MechMemPod:
+		c := core.DefaultConfig()
+		if o.MemPod.Interval > 0 {
+			c.Interval = o.MemPod.Interval
+		}
+		if o.MemPod.Counters > 0 {
+			c.Counters = o.MemPod.Counters
+		}
+		if o.MemPod.CounterBits > 0 {
+			c.CounterBits = o.MemPod.CounterBits
+		}
+		c.CacheBytes = o.MemPod.CacheBytes
+		c.UseFullCounters = o.MemPod.UseFullCounters
+		return "mempod", c, nil
+	case MechHMA:
+		c := hma.DefaultConfig()
+		if o.HMA.Interval > 0 {
+			c.Interval = o.HMA.Interval
+		}
+		if o.HMA.SortStall > 0 {
+			c.SortStall = o.HMA.SortStall
+		}
+		if o.HMA.MaxMigrations > 0 {
+			c.MaxMigrations = o.HMA.MaxMigrations
+		}
+		c.CacheBytes = o.HMA.CacheBytes
+		return "hma", c, nil
+	case MechTHM:
+		return "thm", thm.DefaultConfig(), nil
+	case MechCAMEO:
+		return "cameo", cameo.DefaultConfig(), nil
+	case MechMigrant:
+		c := migrant.DefaultConfig()
+		if o.Migrant.Epoch > 0 {
+			c.Epoch = o.Migrant.Epoch
+		}
+		if o.Migrant.HotThreshold > 0 {
+			c.HotThreshold = o.Migrant.HotThreshold
+		}
+		if o.Migrant.FaultCost > 0 {
+			c.FaultCost = o.Migrant.FaultCost
+		}
+		return "migrant", c, nil
+	case MechTLM, MechHBMOnly, MechDDROnly:
+		return "static", nil, nil
+	default:
+		return "", nil, fmt.Errorf("mempod: unknown mechanism %q (valid: %s)",
+			o.Mechanism, mechanismNames())
+	}
 }
 
 func buildMechanism(o Options, backend *mech.Backend) (mech.Mechanism, error) {
-	switch o.Mechanism {
-	case MechMemPod:
-		cfg := core.DefaultConfig()
-		if o.MemPod.Interval > 0 {
-			cfg.Interval = o.MemPod.Interval
-		}
-		if o.MemPod.Counters > 0 {
-			cfg.Counters = o.MemPod.Counters
-		}
-		if o.MemPod.CounterBits > 0 {
-			cfg.CounterBits = o.MemPod.CounterBits
-		}
-		cfg.CacheBytes = o.MemPod.CacheBytes
-		cfg.UseFullCounters = o.MemPod.UseFullCounters
-		return core.New(cfg, backend)
-	case MechHMA:
-		cfg := hma.DefaultConfig()
-		if o.HMA.Interval > 0 {
-			cfg.Interval = o.HMA.Interval
-		}
-		if o.HMA.SortStall > 0 {
-			cfg.SortStall = o.HMA.SortStall
-		}
-		if o.HMA.MaxMigrations > 0 {
-			cfg.MaxMigrations = o.HMA.MaxMigrations
-		}
-		cfg.CacheBytes = o.HMA.CacheBytes
-		return hma.New(cfg, backend)
-	case MechTHM:
-		return thm.New(thm.DefaultConfig(), backend)
-	case MechCAMEO:
-		return cameo.New(cameo.DefaultConfig(), backend)
-	case MechMigrant:
-		cfg := migrant.DefaultConfig()
-		if o.Migrant.Epoch > 0 {
-			cfg.Epoch = o.Migrant.Epoch
-		}
-		if o.Migrant.HotThreshold > 0 {
-			cfg.HotThreshold = o.Migrant.HotThreshold
-		}
-		if o.Migrant.FaultCost > 0 {
-			cfg.FaultCost = o.Migrant.FaultCost
-		}
-		return migrant.New(cfg, backend)
-	case MechTLM, MechHBMOnly, MechDDROnly:
-		return mech.NewStatic(string(o.Mechanism), backend), nil
+	_, cfg, err := o.mechConfig()
+	if err != nil {
+		return nil, err
+	}
+	switch c := cfg.(type) {
+	case core.Config:
+		return core.New(c, backend)
+	case hma.Config:
+		return hma.New(c, backend)
+	case thm.Config:
+		return thm.New(c, backend)
+	case cameo.Config:
+		return cameo.New(c, backend)
+	case migrant.Config:
+		return migrant.New(c, backend)
 	default:
-		return nil, fmt.Errorf("mempod: unknown mechanism %q (valid: %s)",
-			o.Mechanism, mechanismNames())
+		return mech.NewStatic(string(o.Mechanism), backend), nil
 	}
 }
 

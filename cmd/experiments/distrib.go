@@ -1,0 +1,159 @@
+// Distributed mode: -serve shards the selected experiments' cell plan
+// across -join workers (the same protocol cmd/sweep speaks; the binaries
+// interoperate), then renders every table locally from the merged
+// results — byte-identical stdout to a serial run.
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"repro/internal/distrib"
+	"repro/internal/exp"
+	"repro/internal/resultcache"
+)
+
+type serveOptions struct {
+	addr            string
+	full            bool
+	fastSpec        string
+	slowSpec        string
+	parallelism     int
+	cacheDir        string
+	csvdir          string
+	leaseTTL        time.Duration
+	maxBatch        int
+	checkpoint      string
+	checkpointEvery time.Duration
+	localWorker     bool
+}
+
+// expCfg is the configuration experiment id runs at in distributed mode:
+// the standard per-experiment config plus the command-line overrides that
+// affect cell identity.
+func expCfg(id string, o serveOptions) exp.Config {
+	cfg := exp.ConfigFor(id, o.full)
+	cfg.FastSpec, cfg.SlowSpec = o.fastSpec, o.slowSpec
+	return cfg
+}
+
+// serveSweep coordinates the experiments' cells across workers, then
+// renders the tables from the merged results in selection order.
+func serveSweep(ids []string, o serveOptions) error {
+	results := resultcache.New()
+	if o.cacheDir != "" {
+		if err := os.MkdirAll(o.cacheDir, 0o755); err != nil {
+			return err
+		}
+		results.SetDir(o.cacheDir)
+	}
+	jobs := make([]exp.Job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, exp.Job{Experiment: id, Params: expCfg(id, o).Params()})
+	}
+	co, err := distrib.New(distrib.Config{
+		Jobs: jobs, LeaseTTL: o.leaseTTL, MaxBatch: o.maxBatch,
+		CheckpointPath: o.checkpoint, CheckpointEvery: o.checkpointEvery,
+		Results: results,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: distrib.Handler(co)}
+	go srv.Serve(ln)
+	defer srv.Close()
+	fmt.Fprintf(os.Stderr, "experiments: coordinating %d cells on %s\n", co.Plan().Len(), ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if o.localWorker {
+		w := &distrib.Worker{
+			Name:        "local",
+			Transport:   distrib.Loopback{Co: co},
+			Batch:       o.maxBatch,
+			Parallelism: o.parallelism,
+			Results:     results,
+		}
+		go w.Run(ctx)
+	}
+
+	if err := co.Wait(ctx); err != nil {
+		return fmt.Errorf("interrupted (%v); checkpoint %s holds %d done cells",
+			err, o.checkpoint, co.Status().Done)
+	}
+	fmt.Fprintln(os.Stderr, co.Status().ProgressLine())
+	co.MergeInto(results)
+
+	var prev resultcache.Stats
+	for _, id := range ids {
+		cfg := expCfg(id, o)
+		cfg.Results = results
+		cfg.Parallelism = o.parallelism
+		start := time.Now()
+		t, err := cfg.Experiment(id)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Println(t)
+		cur := results.Stats()
+		fmt.Fprintf(os.Stderr, "%s: finished in %s cache %s\n",
+			id, time.Since(start).Round(time.Millisecond), cur.Sub(prev))
+		prev = cur
+		if o.csvdir != "" {
+			if err := os.MkdirAll(o.csvdir, 0o755); err != nil {
+				return err
+			}
+			if err := os.WriteFile(filepath.Join(o.csvdir, id+".csv"), []byte(t.CSV()), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "experiments: result cache total %s\n", results.Stats())
+	return nil
+}
+
+// joinSweep serves whatever coordinator is at addr until its sweep is
+// done. The local experiment-selection flags are ignored: the plan comes
+// from the coordinator's spec.
+func joinSweep(addr, name string, batch, parallelism int, cacheDir string) error {
+	results := resultcache.New()
+	if cacheDir != "" {
+		if err := os.MkdirAll(cacheDir, 0o755); err != nil {
+			return err
+		}
+		results.SetDir(cacheDir)
+	}
+	if name == "" {
+		host, _ := os.Hostname()
+		name = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	w := &distrib.Worker{
+		Name:        name,
+		Transport:   distrib.Dial(addr),
+		Batch:       batch,
+		Parallelism: parallelism,
+		Results:     results,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+	return w.Run(ctx)
+}

@@ -48,8 +48,28 @@ func main() {
 		noCache  = flag.Bool("no-result-cache", false, "disable result memoization entirely")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+		serve      = flag.String("serve", "", "coordinate a distributed run on this address (host:port)")
+		join       = flag.String("join", "", "work for the coordinator at this address")
+		workerName = flag.String("worker-name", "", "name reported to the coordinator (default host:pid)")
+		leaseBatch = flag.Int("lease-batch", 0, "cells per lease (default 16 worker-side, 64 coordinator cap)")
+		leaseTTL   = flag.Duration("lease-ttl", 30*time.Second, "lease expiry without renewal (coordinator)")
+		ckptPath   = flag.String("checkpoint", "", "coordinator checkpoint file (resumed if it exists)")
+		ckptEvery  = flag.Duration("checkpoint-every", 10*time.Second, "checkpoint write interval")
+		noLocal    = flag.Bool("no-local-worker", false, "serve only; don't compute cells in this process")
 	)
 	flag.Parse()
+	if *serve != "" && *join != "" {
+		fmt.Fprintln(os.Stderr, "experiments: -serve and -join are mutually exclusive")
+		os.Exit(1)
+	}
+	if *join != "" {
+		if err := joinSweep(*join, *workerName, *leaseBatch, *parallel, *cacheDir); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var rcache *mempod.ResultCache
 	if !*noCache {
@@ -96,6 +116,24 @@ func main() {
 	if len(selected) == 0 {
 		fmt.Fprintln(os.Stderr, "experiments: nothing selected")
 		os.Exit(1)
+	}
+
+	if *serve != "" {
+		ids := make([]string, len(selected))
+		for i, e := range selected {
+			ids[i] = string(e)
+		}
+		err := serveSweep(ids, serveOptions{
+			addr: *serve, full: *full, fastSpec: *fastSpec, slowSpec: *slowSpec,
+			parallelism: *parallel, cacheDir: *cacheDir, csvdir: *csvdir,
+			leaseTTL: *leaseTTL, maxBatch: *leaseBatch,
+			checkpoint: *ckptPath, checkpointEvery: *ckptEvery, localWorker: !*noLocal,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	var prev mempod.ResultCacheStats

@@ -1,5 +1,6 @@
 // Command sweep runs the §6.3.1 design-space sweeps: Figure 6 (epoch
-// length × MEA counter count) and Figure 7 (counter width).
+// length × MEA counter count) and Figure 7 (counter width), locally or
+// sharded across worker processes.
 //
 // Usage:
 //
@@ -9,6 +10,22 @@
 //	sweep -j 4            # bound the worker pool (0 = GOMAXPROCS)
 //	sweep -result-cache d # persist cell results, skip them next run
 //
+// Distributed mode shards the same sweep across processes:
+//
+//	sweep -serve :7077 -checkpoint sweep.mpc1   # coordinator (+local worker)
+//	sweep -join host:7077 -result-cache d       # one worker per machine
+//
+// The coordinator enumerates the cell plan, hands out leased index
+// batches (expired leases re-queue automatically), checkpoints completed
+// cells to -checkpoint on an interval and on SIGTERM (restarting with the
+// same flags resumes), and renders the tables once every cell is in.
+// Workers verify they built the identical plan before serving, survive
+// coordinator restarts, and exit when the sweep is done. Output is
+// byte-identical to a serial run regardless of worker count or crashes:
+// cells are content-addressed, so the merged cache holds exactly what a
+// serial run would compute. Progress and per-worker throughput go to
+// stderr and to GET /statusz on the serve address.
+//
 // Each sweep fans its (design point × workload) grid out to a worker
 // pool; results are deterministic for a fixed seed regardless of -j.
 // Cell results are memoized in-process by default — the sweeps overlap
@@ -17,18 +34,22 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
+	"repro/internal/distrib"
 	"repro/internal/exp"
 	"repro/internal/resultcache"
 )
-
-// sweepSubset mirrors mempod.SweepWorkloads (one workload per behaviour
-// class) without importing the facade from a command.
-var sweepSubset = []string{"cactus", "xalanc", "mcf", "bwaves", "lbm", "mix5"}
 
 func main() {
 	var (
@@ -40,10 +61,22 @@ func main() {
 		parallel  = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 		cacheDir  = flag.String("result-cache", "", "persist cell results in this directory (reused across runs)")
 		noCache   = flag.Bool("no-result-cache", false, "disable result memoization entirely")
+
+		serve      = flag.String("serve", "", "coordinate a distributed sweep on this address (host:port)")
+		join       = flag.String("join", "", "work for the coordinator at this address")
+		workerName = flag.String("worker-name", "", "name reported to the coordinator (default host:pid)")
+		leaseBatch = flag.Int("lease-batch", 0, "cells per lease (default 16 worker-side, 64 coordinator cap)")
+		leaseTTL   = flag.Duration("lease-ttl", 30*time.Second, "lease expiry without renewal (coordinator)")
+		ckptPath   = flag.String("checkpoint", "", "coordinator checkpoint file (resumed if it exists)")
+		ckptEvery  = flag.Duration("checkpoint-every", 10*time.Second, "checkpoint write interval")
+		noLocal    = flag.Bool("no-local-worker", false, "serve only; don't compute cells in this process")
 	)
 	flag.Parse()
+	if *serve != "" && *join != "" {
+		fail(errors.New("-serve and -join are mutually exclusive"))
+	}
 
-	cfg := exp.QuickConfig().WithWorkloads(sweepSubset...)
+	cfg := exp.QuickConfig().WithWorkloads(exp.SweepWorkloadNames...)
 	cfg.Requests = 150_000
 	cfg.Parallelism = *parallel
 	if !*noCache {
@@ -55,7 +88,7 @@ func main() {
 			cfg.Results.SetDir(*cacheDir)
 		}
 	} else if *cacheDir != "" {
-		fail(fmt.Errorf("-result-cache and -no-result-cache are mutually exclusive"))
+		fail(errors.New("-result-cache and -no-result-cache are mutually exclusive"))
 	}
 	if *full {
 		cfg.Requests = 1_000_000
@@ -67,41 +100,165 @@ func main() {
 		cfg = cfg.WithWorkloads(strings.Split(*workloads, ",")...)
 	}
 
+	var figures []string
 	if *fig == 0 || *fig == 6 {
-		t, err := cfg.Fig6()
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(t)
+		figures = append(figures, "fig6")
 	}
 	if *fig == 0 || *fig == 7 {
-		t, err := cfg.Fig7()
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(t)
+		figures = append(figures, "fig7")
 	}
 	if *ablate {
-		t, err := cfg.PodSweep()
-		if err != nil {
+		figures = append(figures, "ablation-pods", "ablation-tracker", "energy")
+	}
+	if len(figures) == 0 {
+		fail(fmt.Errorf("-fig %d selects nothing (want 6 or 7)", *fig))
+	}
+
+	switch {
+	case *join != "":
+		runWorker(cfg, *join, *workerName, *leaseBatch)
+	case *serve != "":
+		runCoordinator(cfg, figures, coordinatorOptions{
+			addr: *serve, leaseTTL: *leaseTTL, maxBatch: *leaseBatch,
+			checkpoint: *ckptPath, checkpointEvery: *ckptEvery, localWorker: !*noLocal,
+		})
+	default:
+		if err := renderFigures(cfg, figures); err != nil {
 			fail(err)
 		}
-		fmt.Println(t)
-		t, err = cfg.TrackerSweep()
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(t)
-		t, err = cfg.EnergyTable()
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(t)
 	}
 	if cfg.Results != nil {
-		s := cfg.Results.Stats()
-		fmt.Fprintf(os.Stderr, "sweep: result cache hits=%d misses=%d stale=%d read=%dB written=%dB\n",
-			s.Hits, s.Misses, s.Stale, s.BytesRead, s.BytesWritten)
+		fmt.Fprintf(os.Stderr, "sweep: result cache %s\n", cfg.Results.Stats())
+	}
+}
+
+// renderFigures regenerates each figure against cfg (and its shared
+// result cache) in order, printing tables to stdout and per-figure wall
+// time plus cache activity to stderr, matching cmd/experiments' format.
+func renderFigures(cfg exp.Config, figures []string) error {
+	var prev resultcache.Stats
+	for _, id := range figures {
+		start := time.Now()
+		t, err := cfg.Experiment(id)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+		line := fmt.Sprintf("%s: finished in %s", id, time.Since(start).Round(time.Millisecond))
+		if cfg.Results != nil {
+			cur := cfg.Results.Stats()
+			line += " cache " + cur.Sub(prev).String()
+			prev = cur
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
+	return nil
+}
+
+type coordinatorOptions struct {
+	addr            string
+	leaseTTL        time.Duration
+	maxBatch        int
+	checkpoint      string
+	checkpointEvery time.Duration
+	localWorker     bool
+}
+
+// runCoordinator shards the figures' cell plan across workers, waits for
+// completion (or SIGTERM, checkpointing either way), then renders every
+// figure locally from the merged results.
+func runCoordinator(cfg exp.Config, figures []string, o coordinatorOptions) {
+	if cfg.Results == nil {
+		// Distributed results merge into a cache and render from it.
+		cfg.Results = resultcache.New()
+	}
+	jobs := make([]exp.Job, 0, len(figures))
+	for _, id := range figures {
+		jobs = append(jobs, exp.Job{Experiment: id, Params: cfg.Params()})
+	}
+	co, err := distrib.New(distrib.Config{
+		Jobs: jobs, LeaseTTL: o.leaseTTL, MaxBatch: o.maxBatch,
+		CheckpointPath: o.checkpoint, CheckpointEvery: o.checkpointEvery,
+		Results: cfg.Results,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		fail(err)
+	}
+	srv := &http.Server{Handler: distrib.Handler(co)}
+	go srv.Serve(ln)
+	fmt.Fprintf(os.Stderr, "sweep: coordinating %d cells on %s\n", co.Plan().Len(), ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if o.localWorker {
+		w := &distrib.Worker{
+			Name:        "local",
+			Transport:   distrib.Loopback{Co: co},
+			Batch:       o.maxBatch,
+			Parallelism: cfg.Parallelism,
+			Results:     cfg.Results,
+		}
+		go w.Run(ctx)
+	}
+
+	// Periodic progress with per-worker throughput, mirroring /statusz.
+	progress := time.NewTicker(5 * time.Second)
+	defer progress.Stop()
+	go func() {
+		last := -1
+		for range progress.C {
+			s := co.Status()
+			if s.Done != last {
+				last = s.Done
+				fmt.Fprintln(os.Stderr, s.ProgressLine())
+			}
+		}
+	}()
+
+	if err := co.Wait(ctx); err != nil {
+		srv.Close()
+		fail(fmt.Errorf("interrupted (%v); checkpoint %s holds %d done cells",
+			err, o.checkpoint, co.Status().Done))
+	}
+	srv.Close()
+	fmt.Fprintln(os.Stderr, co.Status().ProgressLine())
+
+	co.MergeInto(cfg.Results)
+	if err := renderFigures(cfg, figures); err != nil {
+		fail(err)
+	}
+}
+
+// runWorker serves a coordinator until the sweep completes. The local
+// figure-selection flags are ignored: the plan comes from the spec.
+func runWorker(cfg exp.Config, addr, name string, batch int) {
+	if name == "" {
+		host, _ := os.Hostname()
+		name = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	w := &distrib.Worker{
+		Name:        name,
+		Transport:   distrib.Dial(addr),
+		Batch:       batch,
+		Parallelism: cfg.Parallelism,
+		Results:     cfg.Results,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+	if err := w.Run(ctx); err != nil {
+		fail(err)
 	}
 }
 

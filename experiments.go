@@ -114,36 +114,17 @@ func RunExperimentOpts(e Experiment, opts RunOptions) (*Table, error) {
 		}
 		cfg.FastSpec, cfg.SlowSpec = opts.FastSpec, opts.SlowSpec
 	}
-	var t *report.Table
-	var err error
-	switch e {
-	case Fig1:
-		t, err = cfg.Fig1()
-	case Fig2:
-		t, err = cfg.Fig2()
-	case Fig3:
-		t, err = cfg.Fig3()
-	case Fig6:
-		t, err = cfg.Fig6()
-	case Fig7:
-		t, err = cfg.Fig7()
-	case Fig8:
-		t, err = cfg.Fig8()
-	case Fig9:
-		t, err = cfg.Fig9()
-	case Fig10:
-		t, err = cfg.Fig10()
-	case SpecGrid:
-		t, err = cfg.SpecGrid()
-	case Table1:
-		t = exp.Table1()
-	case Table2:
-		t = exp.Table2()
-	case Table3:
-		t = exp.Table3()
-	default:
+	known := false
+	for _, k := range Experiments() {
+		if k == e {
+			known = true
+			break
+		}
+	}
+	if !known {
 		return nil, errUnknownExperiment(e)
 	}
+	t, err := cfg.Experiment(string(e))
 	if err != nil {
 		return nil, err
 	}
@@ -152,26 +133,15 @@ func RunExperimentOpts(e Experiment, opts RunOptions) (*Table, error) {
 
 // SweepWorkloads is the representative subset the design-space sweeps run
 // on (one per behaviour class: stable hot set, drifting hot set, pointer
-// chasing, streaming, work front, mixed).
-var SweepWorkloads = []string{"cactus", "xalanc", "mcf", "bwaves", "lbm", "mix5"}
+// chasing, streaming, work front, mixed). It aliases the exp package's
+// list, which cmd/sweep also uses, so the three can never drift.
+var SweepWorkloads = exp.SweepWorkloadNames
 
+// expConfig returns the standard configuration experiment e runs at.
+// Sweeps are bounded to the subset even at full scale (they multiply run
+// counts by 30+), as documented in EXPERIMENTS.md.
 func expConfig(e Experiment, scale ExperimentScale) exp.Config {
-	var cfg exp.Config
-	if scale == Full {
-		cfg = exp.DefaultConfig()
-	} else {
-		cfg = exp.QuickConfig()
-	}
-	// Sweeps multiply run counts by 30+; bound them to the subset even at
-	// full scale, as documented in EXPERIMENTS.md.
-	switch e {
-	case Fig6, Fig7, Fig9, SpecGrid:
-		cfg = cfg.WithWorkloads(SweepWorkloads...)
-		if scale == Full {
-			cfg.Requests = 1_000_000
-		}
-	}
-	return cfg
+	return exp.ConfigFor(string(e), scale == Full)
 }
 
 func firstNonEmpty(s, fallback string) string {

@@ -1,0 +1,157 @@
+package distrib
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// HTTP wire format: each protocol exchange is one POST of a JSON request
+// body to its path, answered with a JSON response body. /statusz is a GET
+// serving the coordinator's Status for humans and the CI harness.
+const (
+	pathSpec     = "/distrib/spec"
+	pathLease    = "/distrib/lease"
+	pathRenew    = "/distrib/renew"
+	pathComplete = "/distrib/complete"
+	pathStatusz  = "/statusz"
+)
+
+// maxBodyBytes bounds a request body read. A full lease batch of frames
+// is a few hundred KB; 64 MB leaves orders of magnitude of headroom while
+// keeping a confused client from exhausting memory.
+const maxBodyBytes = 64 << 20
+
+// Handler serves the coordinator protocol plus /statusz.
+func Handler(co *Coordinator) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(pathSpec, func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, co.SpecResponse())
+	})
+	mux.HandleFunc(pathLease, func(w http.ResponseWriter, r *http.Request) {
+		var req LeaseRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		writeJSON(w, co.Lease(req))
+	})
+	mux.HandleFunc(pathRenew, func(w http.ResponseWriter, r *http.Request) {
+		var req RenewRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		writeJSON(w, co.Renew(req))
+	})
+	mux.HandleFunc(pathComplete, func(w http.ResponseWriter, r *http.Request) {
+		var req CompleteRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		writeJSON(w, co.Complete(req))
+	})
+	mux.HandleFunc(pathStatusz, func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, co.Status())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return false
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return false
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// client is the HTTP Transport.
+type client struct {
+	base string
+	hc   *http.Client
+}
+
+// Dial returns a Transport for the coordinator at base (a host:port or
+// URL; a missing scheme defaults to http://). Per-call timeouts cover
+// lease-sized JSON bodies comfortably; Run's retry loop handles the rest.
+func Dial(base string) Transport {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	return &client{base: base, hc: &http.Client{Timeout: 60 * time.Second}}
+}
+
+func (c *client) post(ctx context.Context, path string, req, resp any) error {
+	var body io.Reader
+	method := http.MethodGet
+	if req != nil {
+		b, err := json.Marshal(req)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+		method = http.MethodPost
+	}
+	hreq, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if req != nil {
+		hreq.Header.Set("Content-Type", "application/json")
+	}
+	hresp, err := c.hc.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer hresp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(hresp.Body, maxBodyBytes))
+	if err != nil {
+		return err
+	}
+	if hresp.StatusCode != http.StatusOK {
+		return fmt.Errorf("distrib: %s: HTTP %d: %s", path, hresp.StatusCode, strings.TrimSpace(string(b)))
+	}
+	return json.Unmarshal(b, resp)
+}
+
+func (c *client) Spec(ctx context.Context) (SpecResponse, error) {
+	var resp SpecResponse
+	err := c.post(ctx, pathSpec, nil, &resp)
+	return resp, err
+}
+
+func (c *client) Lease(ctx context.Context, req LeaseRequest) (LeaseResponse, error) {
+	var resp LeaseResponse
+	err := c.post(ctx, pathLease, req, &resp)
+	return resp, err
+}
+
+func (c *client) Renew(ctx context.Context, req RenewRequest) (RenewResponse, error) {
+	var resp RenewResponse
+	err := c.post(ctx, pathRenew, req, &resp)
+	return resp, err
+}
+
+func (c *client) Complete(ctx context.Context, req CompleteRequest) (CompleteResponse, error) {
+	var resp CompleteResponse
+	err := c.post(ctx, pathComplete, req, &resp)
+	return resp, err
+}

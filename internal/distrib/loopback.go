@@ -1,0 +1,39 @@
+package distrib
+
+import "context"
+
+// Loopback is the in-process transport: a worker talks to a coordinator
+// in the same process by direct method calls. It is how unit tests drive
+// the protocol without sockets, and how a serving coordinator contributes
+// its own CPU as a local worker.
+type Loopback struct {
+	Co *Coordinator
+}
+
+func (l Loopback) Spec(ctx context.Context) (SpecResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return SpecResponse{}, err
+	}
+	return l.Co.SpecResponse(), nil
+}
+
+func (l Loopback) Lease(ctx context.Context, req LeaseRequest) (LeaseResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return LeaseResponse{}, err
+	}
+	return l.Co.Lease(req), nil
+}
+
+func (l Loopback) Renew(ctx context.Context, req RenewRequest) (RenewResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return RenewResponse{}, err
+	}
+	return l.Co.Renew(req), nil
+}
+
+func (l Loopback) Complete(ctx context.Context, req CompleteRequest) (CompleteResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return CompleteResponse{}, err
+	}
+	return l.Co.Complete(req), nil
+}

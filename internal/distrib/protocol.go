@@ -1,0 +1,136 @@
+// Package distrib shards a sweep across worker processes: a coordinator
+// enumerates the simulation cells of a job set (exp.BuildPlan), hands
+// them to workers in leased index batches, and merges the returned MPR1
+// frames into a result cache from which the experiment tables render
+// byte-identically to a serial run.
+//
+// The protocol is deliberately small — four request/response exchanges
+// over JSON — and every exchange is idempotent, so workers and the
+// coordinator can crash and restart at any point:
+//
+//	Spec     → the job list, plan fingerprint and cell count. A worker
+//	           rebuilds the identical plan locally and refuses to serve
+//	           a coordinator whose fingerprint (or sim.Version) differs.
+//	Lease    → a batch of cell indices with a TTL. A lease that is not
+//	           renewed or completed before its deadline expires and its
+//	           cells re-queue for other workers.
+//	Renew    → extends a lease's deadline mid-batch.
+//	Complete → the batch's results, one checksummed MPR1 frame per cell.
+//	           Frames are verified (checksum and key) before acceptance;
+//	           duplicates from expired leases are counted and dropped.
+//
+// Determinism argument: cells are content-addressed (resultcache.CellKey)
+// and each cell's payload is a pure function of its key, so however cells
+// are scattered across workers, retried after crashes, or duplicated by
+// expired leases, the merged cache holds exactly the payloads a serial
+// run would compute. Rendering the tables from that warmed cache is then
+// byte-identical to a serial run by the cache's cached≡fresh property.
+package distrib
+
+import (
+	"context"
+
+	"repro/internal/exp"
+)
+
+// SweepSpec is the serialized sweep definition the coordinator publishes:
+// everything a worker needs to rebuild the cell plan bit-identically.
+type SweepSpec struct {
+	// SimVersion is the coordinator's engine-semantics version. A worker
+	// built at a different version must not serve cells: its payloads
+	// would carry keys the coordinator rejects.
+	SimVersion int `json:"sim_version"`
+	// Jobs are the experiments to sweep, in order.
+	Jobs []exp.Job `json:"jobs"`
+}
+
+// SpecResponse answers a worker's spec fetch.
+type SpecResponse struct {
+	Spec SweepSpec `json:"spec"`
+	// PlanFP is the coordinator's plan fingerprint. Workers compare it
+	// against their locally built plan's fingerprint; a mismatch means a
+	// version skew (different binaries, different workload tables) and
+	// the worker must exit rather than compute cells under wrong keys.
+	PlanFP uint64 `json:"plan_fp,string"`
+	// Total is the number of cells in the plan.
+	Total int `json:"total"`
+}
+
+// LeaseRequest asks for a batch of cells.
+type LeaseRequest struct {
+	// Worker names the requester (for status display and logs only;
+	// the protocol does not trust or dedupe on it).
+	Worker string `json:"worker"`
+	// Max bounds the batch size the worker is willing to take.
+	Max int `json:"max"`
+}
+
+// LeaseResponse grants a batch, tells the worker to wait, or ends the
+// sweep.
+type LeaseResponse struct {
+	// Done reports that every cell is finished (or permanently failed);
+	// the worker should exit.
+	Done bool `json:"done,omitempty"`
+	// LeaseID identifies the grant for Renew and Complete. Empty with
+	// Done=false means no cells are currently available (all leased);
+	// retry after RetryMillis.
+	LeaseID string `json:"lease_id,omitempty"`
+	// Indices are the granted cell indices into the shared plan.
+	Indices []int `json:"indices,omitempty"`
+	// TTLMillis is how long the lease lives without renewal.
+	TTLMillis int64 `json:"ttl_ms,omitempty"`
+	// RetryMillis suggests when to ask again if no lease was granted.
+	RetryMillis int64 `json:"retry_ms,omitempty"`
+}
+
+// RenewRequest extends a lease.
+type RenewRequest struct {
+	LeaseID string `json:"lease_id"`
+}
+
+// RenewResponse acknowledges a renewal. OK=false means the lease is
+// unknown or already expired; the worker should finish the batch anyway
+// and Complete — verified results are accepted from expired leases.
+type RenewResponse struct {
+	OK bool `json:"ok"`
+}
+
+// CellResult is one computed cell: a complete MPR1 frame (key + payload +
+// checksum), or the error string that prevented it.
+type CellResult struct {
+	Index int    `json:"index"`
+	Frame []byte `json:"frame,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// CompleteRequest returns a finished batch.
+type CompleteRequest struct {
+	LeaseID string       `json:"lease_id"`
+	Worker  string       `json:"worker"`
+	Cells   []CellResult `json:"cells"`
+}
+
+// CompleteResponse reports what the coordinator did with the batch.
+type CompleteResponse struct {
+	// Accepted counts frames merged as the first result for their cell.
+	Accepted int `json:"accepted"`
+	// Duplicates counts verified frames for cells another worker already
+	// finished (benign: expired-lease races).
+	Duplicates int `json:"duplicates"`
+	// Rejected counts frames that failed verification (corrupt frame or
+	// a key that does not match the cell's plan index); their cells
+	// re-queue.
+	Rejected int `json:"rejected"`
+	// Done reports that the sweep is now finished.
+	Done bool `json:"done"`
+}
+
+// Transport is the worker's view of a coordinator. Loopback implements it
+// with direct calls for tests and same-process workers; Dial implements
+// it over HTTP.
+type Transport interface {
+	Spec(ctx context.Context) (SpecResponse, error)
+	Lease(ctx context.Context, req LeaseRequest) (LeaseResponse, error)
+	Renew(ctx context.Context, req RenewRequest) (RenewResponse, error)
+	Complete(ctx context.Context, req CompleteRequest) (CompleteResponse, error)
+}

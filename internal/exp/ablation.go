@@ -16,11 +16,9 @@ import (
 // pod per slow MC, §5.1); 2 is the midpoint.
 var PodCounts = []int{1, 2, 4}
 
-// PodSweep is the clustering ablation DESIGN.md calls out: the same MemPod
-// configuration run with 1, 2 and 4 pods, against the no-migration TLM.
-// More pods mean more parallel migration drivers and more total MEA
-// entries (K per pod), at zero communication between pods.
-func (c Config) PodSweep() (*report.Table, error) {
+// podSweepBuilders enumerates the clustering ablation grid: the TLM
+// baseline plus the same MemPod configuration at each pod count.
+func (c Config) podSweepBuilders() ([]builder, error) {
 	fast, slow, err := c.specPair("ablation-pods")
 	if err != nil {
 		return nil, err
@@ -34,13 +32,25 @@ func (c Config) PodSweep() (*report.Table, error) {
 		layout := stdLayout()
 		layout.NumPods = pods
 		builders = append(builders, builder{
-			name: fmt.Sprintf("MemPod/%dpod", pods),
-			ckey: mechKey("mempod", core.DefaultConfig()),
+			name:   fmt.Sprintf("MemPod/%dpod", pods),
+			ckey:   mechKey("mempod", core.DefaultConfig()),
 			layout: layout, fast: fast, slow: slow,
 			make: func(b *mech.Backend) mech.Mechanism {
 				return core.MustNew(core.DefaultConfig(), b)
 			},
 		})
+	}
+	return builders, nil
+}
+
+// PodSweep is the clustering ablation DESIGN.md calls out: the same MemPod
+// configuration run with 1, 2 and 4 pods, against the no-migration TLM.
+// More pods mean more parallel migration drivers and more total MEA
+// entries (K per pod), at zero communication between pods.
+func (c Config) PodSweep() (*report.Table, error) {
+	builders, err := c.podSweepBuilders()
+	if err != nil {
+		return nil, err
 	}
 	res, err := c.matrix(builders)
 	if err != nil {
@@ -66,11 +76,8 @@ func (c Config) PodSweep() (*report.Table, error) {
 	return t, nil
 }
 
-// TrackerSweep is the tracking ablation: MemPod with its 736 B MEA units
-// versus the same mechanism driven by exact Full Counters (9 MB-class
-// storage), both migrating at most K pages per pod per epoch. The paper's
-// claim is that MEA gives up little or nothing here.
-func (c Config) TrackerSweep() (*report.Table, error) {
+// trackerSweepBuilders enumerates the tracking ablation grid.
+func (c Config) trackerSweepBuilders() ([]builder, error) {
 	mk := func(useFC bool) func(b *mech.Backend) mech.Mechanism {
 		return func(b *mech.Backend) mech.Mechanism {
 			cfg := core.DefaultConfig()
@@ -87,12 +94,23 @@ func (c Config) TrackerSweep() (*report.Table, error) {
 		cfg.UseFullCounters = useFC
 		return mechKey("mempod", cfg)
 	}
-	builders := []builder{
+	return []builder{
 		{"TLM", mechKey("static", nil), stdLayout(), fast, slow, func(b *mech.Backend) mech.Mechanism {
 			return mech.NewStatic("TLM", b)
 		}},
 		{"MemPod", fcKey(false), stdLayout(), fast, slow, mk(false)},
 		{"MemPod-FC", fcKey(true), stdLayout(), fast, slow, mk(true)},
+	}, nil
+}
+
+// TrackerSweep is the tracking ablation: MemPod with its 736 B MEA units
+// versus the same mechanism driven by exact Full Counters (9 MB-class
+// storage), both migrating at most K pages per pod per epoch. The paper's
+// claim is that MEA gives up little or nothing here.
+func (c Config) TrackerSweep() (*report.Table, error) {
+	builders, err := c.trackerSweepBuilders()
+	if err != nil {
+		return nil, err
 	}
 	res, err := c.matrix(builders)
 	if err != nil {

@@ -32,11 +32,10 @@ func (c Config) Fig8() (*report.Table, error) {
 		res, "TLM"), nil
 }
 
-// Fig10 regenerates Figure 10, the future-technology scalability study:
-// 4 GHz HBM and DDR4-2400, results normalized to a DDR4-2400-only memory.
-// The paper reduces HMA's sort penalty by 40% for the faster future
-// processor; the scaled config inherits that reduction.
-func (c Config) Fig10() (*report.Table, error) {
+// fig10Builders returns the future-technology configurations and the
+// derived config they were built under (the paper reduces HMA's sort
+// penalty by 40% for the faster future processor).
+func (c Config) fig10Builders() ([]builder, Config) {
 	future := c
 	future.HMASortStall = c.HMASortStall * 6 / 10
 	fast, slow := dram.HBMOverclocked(), dram.DDR4_2400()
@@ -54,6 +53,13 @@ func (c Config) Fig10() (*report.Table, error) {
 		layout: ddrOnlyLayout(), fast: fast, slow: slow,
 		make: func(b *mech.Backend) mech.Mechanism { return mech.NewStatic("DDR-only", b) },
 	})
+	return builders, future
+}
+
+// Fig10 regenerates Figure 10, the future-technology scalability study:
+// 4 GHz HBM and DDR4-2400, results normalized to a DDR4-2400-only memory.
+func (c Config) Fig10() (*report.Table, error) {
+	builders, future := c.fig10Builders()
 	res, err := future.matrix(builders)
 	if err != nil {
 		return nil, err
@@ -135,10 +141,20 @@ func (c Config) renderComparison(id, title string, res map[string]map[string]sta
 // Fig9Sizes are the bookkeeping-cache capacities of Figure 9.
 var Fig9Sizes = []int{16 << 10, 32 << 10, 64 << 10}
 
-// Fig9 regenerates Figure 9: AMMAT of MemPod, THM and HMA with 16/32/64 KB
-// bookkeeping caches, normalized to the no-migration TLM, plus each
-// mechanism's cache-disabled reference.
-func (c Config) Fig9() (*report.Table, error) {
+// fig9MechNames are the cached-mechanism rows of Figure 9.
+var fig9MechNames = []string{"MemPod", "THM", "HMA"}
+
+// fig9Label names one (mechanism, cache size) configuration.
+func fig9Label(mech string, size int) string {
+	if size > 0 {
+		return fmt.Sprintf("%s/%dKB", mech, size>>10)
+	}
+	return fmt.Sprintf("%s/no-cache", mech)
+}
+
+// fig9Builders enumerates the Figure 9 bookkeeping-cache sensitivity
+// grid: the TLM baseline plus every (mechanism × cache size) pair.
+func (c Config) fig9Builders() ([]builder, error) {
 	fast, slow, err := c.specPair("fig9")
 	if err != nil {
 		return nil, err
@@ -184,16 +200,23 @@ func (c Config) Fig9() (*report.Table, error) {
 	sizes := append([]int{0}, Fig9Sizes...)
 	for _, m := range mechs {
 		for _, size := range sizes {
-			label := fmt.Sprintf("%s/no-cache", m.name)
-			if size > 0 {
-				label = fmt.Sprintf("%s/%dKB", m.name, size>>10)
-			}
 			builders = append(builders, builder{
-				name: label, ckey: m.ckey(size),
+				name: fig9Label(m.name, size), ckey: m.ckey(size),
 				layout: stdLayout(), fast: fast, slow: slow,
 				make: m.mk(size),
 			})
 		}
+	}
+	return builders, nil
+}
+
+// Fig9 regenerates Figure 9: AMMAT of MemPod, THM and HMA with 16/32/64 KB
+// bookkeeping caches, normalized to the no-migration TLM, plus each
+// mechanism's cache-disabled reference.
+func (c Config) Fig9() (*report.Table, error) {
+	builders, err := c.fig9Builders()
+	if err != nil {
+		return nil, err
 	}
 	res, err := c.matrix(builders)
 	if err != nil {
@@ -201,14 +224,10 @@ func (c Config) Fig9() (*report.Table, error) {
 	}
 	t := report.New("fig9", "Bookkeeping-cache sensitivity: average AMMAT normalized to TLM",
 		"mechanism", "no cache", "16KB", "32KB", "64KB")
-	for _, m := range mechs {
-		row := []string{m.name}
-		for _, size := range sizes {
-			label := fmt.Sprintf("%s/no-cache", m.name)
-			if size > 0 {
-				label = fmt.Sprintf("%s/%dKB", m.name, size>>10)
-			}
-			_, _, all := c.averages(res[label], func(r stats.Result) float64 {
+	for _, name := range fig9MechNames {
+		row := []string{name}
+		for _, size := range append([]int{0}, Fig9Sizes...) {
+			_, _, all := c.averages(res[fig9Label(name, size)], func(r stats.Result) float64 {
 				return r.Normalized(res["TLM"][r.Workload])
 			})
 			row = append(row, fmt.Sprintf("%.3f", all))

@@ -23,15 +23,12 @@ type designPoint struct {
 	migs  float64
 }
 
-// runMemPodGrid evaluates several MemPod configurations as one flat
-// (configuration × workload) matrix — so a whole design-space sweep fans
-// out to c.Parallelism workers at once — and returns one aggregated point
-// per configuration, in input order. experiment tags spec-resolution
-// errors with the calling figure's name. Grid points are labeled by index
-// but cache-keyed by configuration, so the same design point appearing in
-// two sweeps (Fig6's 50µs/64ctr/16bit is also Fig7's) simulates once per
-// shared cache.
-func (c Config) runMemPodGrid(experiment string, cfgs []core.Config) ([]designPoint, error) {
+// memPodGridBuilders names one builder per MemPod configuration of a
+// design-space sweep. Grid points are labeled by index but cache-keyed by
+// configuration, so the same design point appearing in two sweeps (Fig6's
+// 50µs/64ctr/16bit is also Fig7's) simulates once per shared cache.
+// experiment tags spec-resolution errors with the calling figure's name.
+func (c Config) memPodGridBuilders(experiment string, cfgs []core.Config) ([]builder, error) {
 	fast, slow, err := c.specPair(experiment)
 	if err != nil {
 		return nil, err
@@ -40,11 +37,23 @@ func (c Config) runMemPodGrid(experiment string, cfgs []core.Config) ([]designPo
 	for i, mpCfg := range cfgs {
 		mpCfg := mpCfg
 		builders[i] = builder{
-			name: fmt.Sprintf("MemPod#%d", i),
-			ckey: mechKey("mempod", mpCfg),
+			name:   fmt.Sprintf("MemPod#%d", i),
+			ckey:   mechKey("mempod", mpCfg),
 			layout: stdLayout(), fast: fast, slow: slow,
 			make: func(bk *mech.Backend) mech.Mechanism { return core.MustNew(mpCfg, bk) },
 		}
+	}
+	return builders, nil
+}
+
+// runMemPodGrid evaluates several MemPod configurations as one flat
+// (configuration × workload) matrix — so a whole design-space sweep fans
+// out to c.Parallelism workers at once — and returns one aggregated point
+// per configuration, in input order.
+func (c Config) runMemPodGrid(experiment string, cfgs []core.Config) ([]designPoint, error) {
+	builders, err := c.memPodGridBuilders(experiment, cfgs)
+	if err != nil {
+		return nil, err
 	}
 	res, err := c.matrix(builders)
 	if err != nil {
@@ -80,6 +89,19 @@ func (c Config) runMemPod(mpCfg core.Config) (ammat, migsPerPodInterval float64,
 	return pts[0].ammat, pts[0].migs, nil
 }
 
+// fig6Configs enumerates the Figure 6 design space (16-bit counters,
+// caches disabled, as §6.3.1 specifies) in row-major epoch × counter
+// order. BestConfigCheck and the distributed-sweep plan share it.
+func fig6Configs() []core.Config {
+	var cfgs []core.Config
+	for _, epoch := range Fig6Epochs {
+		for _, k := range Fig6Counters {
+			cfgs = append(cfgs, core.Config{Interval: epoch, Counters: k, CounterBits: 16})
+		}
+	}
+	return cfgs
+}
+
 // Fig6 regenerates Figure 6: average AMMAT over the epoch-length ×
 // counter-count design space (16-bit counters, caches disabled, as §6.3.1
 // specifies). Rows are epochs, columns are MEA counter counts.
@@ -89,13 +111,7 @@ func (c Config) Fig6() (*report.Table, error) {
 		cols = append(cols, fmt.Sprintf("%d ctrs", k))
 	}
 	t := report.New("fig6", "Average AMMAT (ns) vs epoch length and MEA counters", cols...)
-	var cfgs []core.Config
-	for _, epoch := range Fig6Epochs {
-		for _, k := range Fig6Counters {
-			cfgs = append(cfgs, core.Config{Interval: epoch, Counters: k, CounterBits: 16})
-		}
-	}
-	pts, err := c.runMemPodGrid("fig6", cfgs)
+	pts, err := c.runMemPodGrid("fig6", fig6Configs())
 	if err != nil {
 		return nil, err
 	}
@@ -114,27 +130,35 @@ func (c Config) Fig6() (*report.Table, error) {
 // Fig7Widths are the counter widths swept in Figure 7.
 var Fig7Widths = []int{1, 2, 4, 8, 16}
 
+// fig7Variants are the two design points of Figure 7's width sweep.
+var fig7Variants = []struct {
+	label    string
+	interval clock.Duration
+	counters int
+}{
+	{"7a: 50us/64", 50 * clock.Microsecond, 64},
+	{"7b: 100us/128", 100 * clock.Microsecond, 128},
+}
+
+// fig7Configs enumerates the Figure 7 width sweep, variant-major.
+func fig7Configs() []core.Config {
+	var cfgs []core.Config
+	for _, v := range fig7Variants {
+		for _, bits := range Fig7Widths {
+			cfgs = append(cfgs, core.Config{Interval: v.interval, Counters: v.counters, CounterBits: bits})
+		}
+	}
+	return cfgs
+}
+
 // Fig7 regenerates Figure 7: AMMAT (normalized to the 2-bit configuration)
 // and migrations per pod per interval versus counter width, for both the
 // 50 µs/64-counter (7a) and 100 µs/128-counter (7b) design points.
 func (c Config) Fig7() (*report.Table, error) {
 	t := report.New("fig7", "Counter width vs normalized AMMAT and migrations/pod/interval",
 		"config", "bits", "AMMAT (ns)", "normalized to 2-bit", "migs/pod/interval")
-	variants := []struct {
-		label    string
-		interval clock.Duration
-		counters int
-	}{
-		{"7a: 50us/64", 50 * clock.Microsecond, 64},
-		{"7b: 100us/128", 100 * clock.Microsecond, 128},
-	}
-	var cfgs []core.Config
-	for _, v := range variants {
-		for _, bits := range Fig7Widths {
-			cfgs = append(cfgs, core.Config{Interval: v.interval, Counters: v.counters, CounterBits: bits})
-		}
-	}
-	all, err := c.runMemPodGrid("fig7", cfgs)
+	variants := fig7Variants
+	all, err := c.runMemPodGrid("fig7", fig7Configs())
 	if err != nil {
 		return nil, err
 	}
@@ -161,12 +185,7 @@ func (c Config) Fig7() (*report.Table, error) {
 // bottom of the sweep. It returns the chosen point's AMMAT and the sweep
 // minimum, for tests.
 func (c Config) BestConfigCheck() (chosen, best float64, err error) {
-	var cfgs []core.Config
-	for _, epoch := range Fig6Epochs {
-		for _, k := range Fig6Counters {
-			cfgs = append(cfgs, core.Config{Interval: epoch, Counters: k, CounterBits: 16})
-		}
-	}
+	cfgs := fig6Configs()
 	pts, err := c.runMemPodGrid("best-config-check", cfgs)
 	if err != nil {
 		return 0, 0, err

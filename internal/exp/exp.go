@@ -144,7 +144,17 @@ func (c Config) WithWorkloads(names ...string) Config {
 }
 
 // selectWorkloads resolves workload names (benchmark names or "mixN").
+// It panics on unknown names; resolveWorkloads is the error-returning form
+// distributed workers use on untrusted specs.
 func selectWorkloads(names ...string) []workload.Workload {
+	out, err := resolveWorkloads(names)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func resolveWorkloads(names []string) ([]workload.Workload, error) {
 	var out []workload.Workload
 	for _, n := range names {
 		var w workload.Workload
@@ -152,18 +162,18 @@ func selectWorkloads(names ...string) []workload.Workload {
 		if len(n) > 3 && n[:3] == "mix" {
 			i, perr := strconv.Atoi(n[3:])
 			if perr != nil {
-				panic(fmt.Errorf("exp: bad workload name %q: %w", n, perr))
+				return nil, fmt.Errorf("exp: bad workload name %q: %w", n, perr)
 			}
 			w, err = workload.Mix(i)
 		} else {
 			w, err = workload.Homogeneous(n)
 		}
 		if err != nil {
-			panic(fmt.Errorf("exp: workload %q: %w", n, err))
+			return nil, fmt.Errorf("exp: workload %q: %w", n, err)
 		}
 		out = append(out, w)
 	}
-	return out
+	return out, nil
 }
 
 // specPair resolves the config's named memory specs through the dram

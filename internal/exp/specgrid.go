@@ -31,11 +31,8 @@ var SpecPairs = [][2]string{
 // to the pair's own no-migration TLM.
 var specGridOrder = []string{"MemPod", "HMA", "THM", "CAMEO", "Migrant"}
 
-// SpecGrid runs the (mechanism × spec-pair) matrix: for every spec pair,
-// every mechanism (including Migrant), with AMMAT normalized to the same
-// pair's TLM so columns are comparable across memory technologies. One
-// row per (pair, workload), plus an ALL-average row per pair.
-func (c Config) SpecGrid() (*report.Table, error) {
+// specGridBuilders enumerates the (mechanism × spec-pair) grid.
+func (c Config) specGridBuilders() ([]builder, error) {
 	var builders []builder
 	for _, pair := range SpecPairs {
 		fast, err := dram.Preset(pair[0])
@@ -59,6 +56,18 @@ func (c Config) SpecGrid() (*report.Table, error) {
 		add("THM", mechKey("thm", thm.DefaultConfig()), func(b *mech.Backend) mech.Mechanism { return thm.MustNew(thm.DefaultConfig(), b) })
 		add("CAMEO", mechKey("cameo", cameo.DefaultConfig()), func(b *mech.Backend) mech.Mechanism { return cameo.MustNew(cameo.DefaultConfig(), b) })
 		add("Migrant", mechKey("migrant", migrant.DefaultConfig()), func(b *mech.Backend) mech.Mechanism { return migrant.MustNew(migrant.DefaultConfig(), b) })
+	}
+	return builders, nil
+}
+
+// SpecGrid runs the (mechanism × spec-pair) matrix: for every spec pair,
+// every mechanism (including Migrant), with AMMAT normalized to the same
+// pair's TLM so columns are comparable across memory technologies. One
+// row per (pair, workload), plus an ALL-average row per pair.
+func (c Config) SpecGrid() (*report.Table, error) {
+	builders, err := c.specGridBuilders()
+	if err != nil {
+		return nil, err
 	}
 	res, err := c.matrix(builders)
 	if err != nil {

@@ -20,6 +20,7 @@
 package resultcache
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
@@ -263,9 +264,102 @@ func (c *Cache) ResultCell(key CellKey, run func() (stats.Result, error)) (stats
 	return r, err
 }
 
+// Put installs a payload computed elsewhere (a distributed worker, a
+// checkpoint restore) as if GetOrRun had computed it here: the entry is
+// pinned resident and persisted when a store is configured. First write
+// wins — an existing resident entry (including one in flight) is kept, so
+// Put can never change a value a caller already observed. Callers are
+// responsible for the payload's integrity; transport layers verify the
+// MPR1 frame checksum and key before handing payloads to Put.
+func (c *Cache) Put(key CellKey, payload []byte) {
+	canon := key.Canonical()
+	c.mu.Lock()
+	if _, ok := c.entries[canon]; ok {
+		c.mu.Unlock()
+		return
+	}
+	e := &entry{ready: make(chan struct{}), payload: payload}
+	close(e.ready)
+	c.entries[canon] = e
+	dir := c.dir
+	c.mu.Unlock()
+	if dir != "" {
+		c.persist(dir, key, payload)
+	}
+}
+
+// Lookup returns key's payload without computing anything: resident
+// entries and loadable store files answer (pinning the entry resident,
+// like Probe); absent or in-flight cells report false immediately —
+// Lookup never blocks on another goroutine's compute. No Hit or Miss is
+// counted; coordinators use it to adopt prior results without perturbing
+// the run's own statistics.
+func (c *Cache) Lookup(key CellKey) ([]byte, bool) {
+	canon := key.Canonical()
+	c.mu.Lock()
+	e, ok := c.entries[canon]
+	dir := c.dir
+	c.mu.Unlock()
+	if ok {
+		select {
+		case <-e.ready:
+			if e.err == nil {
+				return e.payload, true
+			}
+		default:
+		}
+		return nil, false
+	}
+	if dir == "" {
+		return nil, false
+	}
+	payload, ok := c.loadStored(dir, key)
+	if !ok {
+		return nil, false
+	}
+	e = &entry{ready: make(chan struct{}), payload: payload}
+	close(e.ready)
+	c.mu.Lock()
+	if prev, exists := c.entries[canon]; exists {
+		e = prev
+	} else {
+		c.entries[canon] = e
+	}
+	c.mu.Unlock()
+	select {
+	case <-e.ready:
+		if e.err == nil {
+			return e.payload, true
+		}
+	default:
+	}
+	return nil, false
+}
+
 // Stats returns a snapshot of the cache counters.
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.stats
+}
+
+// Sub returns the counter deltas since a prior snapshot — what happened
+// between two Stats calls, e.g. during one figure of a sweep.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Hits:         s.Hits - prev.Hits,
+		Misses:       s.Misses - prev.Misses,
+		DiskLoads:    s.DiskLoads - prev.DiskLoads,
+		Stale:        s.Stale - prev.Stale,
+		Persisted:    s.Persisted - prev.Persisted,
+		BytesRead:    s.BytesRead - prev.BytesRead,
+		BytesWritten: s.BytesWritten - prev.BytesWritten,
+	}
+}
+
+// String renders the counters in the one-line greppable form the commands
+// print: "hits=H misses=M stale=S read=RB written=WB".
+func (s Stats) String() string {
+	return fmt.Sprintf("hits=%d misses=%d stale=%d read=%dB written=%dB",
+		s.Hits, s.Misses, s.Stale, s.BytesRead, s.BytesWritten)
 }
